@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmarks regenerate every table and figure of the paper.  Building
+the R-trees dominates the cost, so a single session-scoped
+:class:`ExperimentContext` caches datasets, trees and clipped trees across
+benchmark modules.  Scale everything up or down with the
+``REPRO_BENCH_SCALE`` environment variable.
+"""
+
+import pytest
+
+from repro.bench import BenchConfig, ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """One shared experiment context for the whole benchmark session."""
+    return ExperimentContext(BenchConfig())
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--print-tables",
+        action="store_true",
+        default=True,
+        help="print the reproduced paper tables/figures to stdout",
+    )

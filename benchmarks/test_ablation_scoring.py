@@ -1,0 +1,26 @@
+"""Ablation: the additive clip-score approximation vs the exact union volume."""
+
+from repro.bench.reporting import format_table
+from repro.bench.experiments import ablations
+
+
+def test_ablation_scoring_approximation(benchmark, context):
+    rows = benchmark.pedantic(
+        ablations.run_scoring_comparison, args=(context,), rounds=1, iterations=1
+    )
+    print("\n" + format_table(rows, title="Ablation — additive score vs exact clipped volume"))
+    row = rows[0]
+    # The additive score never undercounts by construction and its
+    # overcount stays small (the paper argues it is bounded by the overlap
+    # of the non-dominant clip regions).
+    assert row["additive_score_volume"] >= row["exact_clipped_volume"] * 0.999
+    assert row["approximation_overcount_pct"] < 30.0
+
+
+def test_ablation_k_sweep_io(benchmark, context):
+    rows = benchmark.pedantic(ablations.run_k_sweep_io, args=(context,), rounds=1, iterations=1)
+    print("\n" + format_table(rows, title="Ablation — query I/O as k grows (axo03, R*-tree, CSTA)"))
+    # More clip points never hurt query I/O.
+    for earlier, later in zip(rows, rows[1:]):
+        assert later["relative_to_unclipped_pct"] <= earlier["relative_to_unclipped_pct"] + 0.5
+    assert rows[-1]["relative_to_unclipped_pct"] <= 100.0

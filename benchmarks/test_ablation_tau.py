@@ -1,0 +1,18 @@
+"""Ablation: the τ storage threshold (fixed to 2.5 % in the paper)."""
+
+from repro.bench.reporting import format_table
+from repro.bench.experiments import ablations
+
+
+def test_ablation_tau_sweep(benchmark, context):
+    rows = benchmark.pedantic(ablations.run_tau_sweep, args=(context,), rounds=1, iterations=1)
+    print("\n" + format_table(rows, title="Ablation — effect of the τ threshold (axo03, RR*-tree, CSTA)"))
+
+    # A stricter threshold can only reduce the number of stored clip points
+    # and the volume they clip away.
+    for earlier, later in zip(rows, rows[1:]):
+        assert later["avg_clip_points"] <= earlier["avg_clip_points"] + 1e-9
+        assert later["clipped_dead_space_pct"] <= earlier["clipped_dead_space_pct"] + 0.5
+    # At the paper's τ = 2.5 % the tree still clips a substantial share.
+    at_default = next(row for row in rows if abs(row["tau"] - 0.025) < 1e-9)
+    assert at_default["clipped_dead_space_pct"] > 10.0

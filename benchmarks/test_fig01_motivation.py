@@ -1,0 +1,34 @@
+"""Figure 1: overlap, dead space, and I/O optimality of unclipped R-trees."""
+
+from repro.bench.reporting import format_table
+from repro.bench.experiments import fig01_motivation
+
+
+def test_fig1a_overlap(benchmark, context):
+    rows = benchmark.pedantic(fig01_motivation.run_overlap, args=(context,), rounds=1, iterations=1)
+    print("\n" + format_table(rows, title="Figure 1a — avg. overlap within a node (%)"))
+    # The paper reports 8-30 % overlap: small relative to dead space.
+    assert all(0.0 <= row["overlap_pct"] <= 60.0 for row in rows)
+
+
+def test_fig1b_dead_space(benchmark, context):
+    rows = benchmark.pedantic(fig01_motivation.run_dead_space, args=(context,), rounds=1, iterations=1)
+    print("\n" + format_table(rows, title="Figure 1b — avg. dead space per node (%)"))
+    # The motivating observation: the large majority of every node is dead space.
+    assert all(row["dead_space_pct"] >= 50.0 for row in rows)
+    axo = [row["dead_space_pct"] for row in rows if row["dataset"] == "axo03"]
+    assert min(axo) >= 85.0, "3d neuroscience nodes should be almost entirely dead space"
+
+
+def test_fig1c_io_optimality(benchmark, context):
+    rows = benchmark.pedantic(
+        fig01_motivation.run_io_optimality, args=(context,), rounds=1, iterations=1
+    )
+    print("\n" + format_table(rows, title="Figure 1c — optimal/actual leaf accesses (%)"))
+    # All values are valid percentages and some leaf accesses are wasted on
+    # dead space (optimality below 100 %), most visibly on the 3d dataset.
+    assert all(0.0 < row["optimal_leaf_access_pct"] <= 100.0 for row in rows)
+    axo_avg = sum(r["optimal_leaf_access_pct"] for r in rows if r["dataset"] == "axo03") / 3
+    rea_avg = sum(r["optimal_leaf_access_pct"] for r in rows if r["dataset"] == "rea02") / 3
+    assert axo_avg <= rea_avg + 2.0, "the 3d dataset should waste at least as many accesses"
+    assert axo_avg < 100.0

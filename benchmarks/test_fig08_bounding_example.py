@@ -1,0 +1,24 @@
+"""Figure 8: bounding methods on the paper's running example."""
+
+from repro.bench.reporting import format_table
+from repro.bench.experiments import fig08_bounding_example
+
+
+def test_fig08_bounding_example(benchmark):
+    rows = benchmark.pedantic(fig08_bounding_example.run, rounds=1, iterations=1)
+    print("\n" + format_table(rows, title="Figure 8 — dead space of bounding methods on the running example"))
+    by_method = {row["method"]: row for row in rows}
+
+    # Convex shapes improve monotonically with corner count: MBC is the
+    # coarsest, the convex hull the tightest convex shape.
+    assert by_method["MBC"]["leaf1_dead_pct"] >= by_method["MBB"]["leaf1_dead_pct"]
+    assert by_method["MBB"]["leaf1_dead_pct"] >= by_method["4-C"]["leaf1_dead_pct"]
+    assert by_method["4-C"]["leaf1_dead_pct"] >= by_method["CH"]["leaf1_dead_pct"] - 1e-9
+
+    # The paper's headline: stairline clipping prunes more dead space than
+    # the convex hull while storing fewer points.
+    assert by_method["CBBSTA"]["leaf1_dead_pct"] < by_method["CH"]["leaf1_dead_pct"]
+    assert by_method["CBBSTA"]["leaf1_points"] <= by_method["CH"]["leaf1_points"]
+    # Skyline clipping falls between the raw MBB and the stairline variant.
+    assert by_method["CBBSTA"]["leaf1_dead_pct"] <= by_method["CBBSKY"]["leaf1_dead_pct"]
+    assert by_method["CBBSKY"]["leaf1_dead_pct"] <= by_method["MBB"]["leaf1_dead_pct"]

@@ -1,0 +1,23 @@
+"""Figure 9: dead space vs storage of eight bounding methods on RR*-tree nodes."""
+
+from repro.bench.reporting import format_table
+from repro.bench.experiments import fig09_bounding_comparison
+
+
+def test_fig09_bounding_comparison(benchmark, context):
+    rows = benchmark.pedantic(
+        fig09_bounding_comparison.run, args=(context,), rounds=1, iterations=1
+    )
+    print("\n" + format_table(rows, title="Figure 9 — dead space (a) and #points (b) per bounding method"))
+
+    for dataset in ("par02", "rea02"):
+        subset = {row["method"]: row for row in rows if row["dataset"] == dataset}
+        # Representation cost ordering: MBB/MBC cheapest, CH most expensive.
+        assert subset["MBB"]["avg_points"] == 2
+        assert subset["CH"]["avg_points"] >= subset["5-C"]["avg_points"] >= subset["4-C"]["avg_points"]
+        # CBBSKY stays cheap (the paper: one or two clip points on average).
+        assert subset["CBBSKY"]["avg_points"] <= subset["CBBSTA"]["avg_points"]
+        # More corners => less dead space among the convex shapes.
+        assert subset["CH"]["avg_dead_space_pct"] <= subset["MBB"]["avg_dead_space_pct"] + 1e-9
+        # Stairline clipping beats plain MBBs substantially.
+        assert subset["CBBSTA"]["avg_dead_space_pct"] < subset["MBB"]["avg_dead_space_pct"]

@@ -1,0 +1,39 @@
+"""Figure 10: dead space clipped away by CSKY/CSTA as k varies."""
+
+from collections import defaultdict
+
+from repro.bench.reporting import format_table
+from repro.bench.experiments import fig10_clipped_dead_space
+
+
+def test_fig10_clipped_dead_space(benchmark, context):
+    rows = benchmark.pedantic(
+        fig10_clipped_dead_space.run, args=(context,), rounds=1, iterations=1
+    )
+    print("\n" + format_table(
+        rows,
+        columns=["method", "dataset", "variant", "k", "dead_space_pct", "clipped_pct", "remaining_pct"],
+        title="Figure 10 — dead space per node: clipped vs remaining",
+    ))
+
+    # Clipping never exceeds the available dead space.
+    assert all(row["clipped_pct"] <= row["dead_space_pct"] + 1e-6 for row in rows)
+
+    # More clip points never clip less dead space (monotone in k).
+    grouped = defaultdict(list)
+    for row in rows:
+        grouped[(row["method"], row["dataset"], row["variant"])].append(row)
+    for series in grouped.values():
+        series.sort(key=lambda r: r["k"])
+        for earlier, later in zip(series, series[1:]):
+            assert later["clipped_pct"] >= earlier["clipped_pct"] - 0.5
+
+    # Stairline clipping removes at least as much dead space as skyline
+    # clipping for the same (dataset, variant, k), on average.
+    sky = {(r["dataset"], r["variant"], r["k"]): r["clipped_pct"] for r in rows if r["method"] == "skyline"}
+    sta = {(r["dataset"], r["variant"], r["k"]): r["clipped_pct"] for r in rows if r["method"] == "stairline"}
+    common = set(sky) & set(sta)
+    assert common
+    avg_sky = sum(sky[k] for k in common) / len(common)
+    avg_sta = sum(sta[k] for k in common) / len(common)
+    assert avg_sta >= avg_sky

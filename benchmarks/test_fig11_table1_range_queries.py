@@ -1,0 +1,36 @@
+"""Figure 11 and Table I: range-query I/O reduction from clipping."""
+
+from repro.bench.reporting import format_table
+from repro.bench.experiments import fig11_range_queries
+
+
+def test_fig11_and_table1_range_queries(benchmark, context):
+    rows = benchmark.pedantic(fig11_range_queries.run, args=(context,), rounds=1, iterations=1)
+    print("\n" + format_table(
+        rows,
+        columns=[
+            "dataset", "profile", "variant", "unclipped_leaf_acc",
+            "csky_relative_pct", "csta_relative_pct", "avg_results",
+        ],
+        title="Figure 11 — leaf accesses of clipped trees relative to unclipped (100%)",
+    ))
+    table = fig11_range_queries.table1(rows)
+    print("\n" + format_table(table, title="Table I — avg. % I/O reduction (skyline/stairline)"))
+
+    # Clipping never *increases* I/O: relative leaf accesses stay <= 100 %.
+    assert all(row["csta_relative_pct"] <= 100.0 + 1e-6 for row in rows)
+    assert all(row["csky_relative_pct"] <= 100.0 + 1e-6 for row in rows)
+
+    # Averaged over everything, stairline clipping yields a real reduction
+    # and beats (or matches) skyline clipping — the paper's ~14 % vs ~26 %.
+    avg_sta = sum(row["csta_relative_pct"] for row in rows) / len(rows)
+    avg_sky = sum(row["csky_relative_pct"] for row in rows) / len(rows)
+    assert avg_sta < 97.0, f"stairline clipping should save I/O (got {avg_sta:.1f}%)"
+    assert avg_sta <= avg_sky + 1.0
+
+    # Gains are strongest for the most selective profile (QR0), as in the paper.
+    def average(profile):
+        selected = [r["csta_relative_pct"] for r in rows if r["profile"] == profile]
+        return sum(selected) / len(selected)
+
+    assert average("QR0") <= average("QR2") + 5.0

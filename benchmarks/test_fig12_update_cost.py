@@ -1,0 +1,28 @@
+"""Figure 12: expected number of re-clipped CBBs per insertion."""
+
+from repro.bench.reporting import format_table
+from repro.bench.experiments import fig12_update_cost
+
+
+def test_fig12_update_cost(benchmark, context):
+    rows = benchmark.pedantic(fig12_update_cost.run, args=(context,), rounds=1, iterations=1)
+    print("\n" + format_table(
+        rows,
+        columns=["dataset", "variant", "reclips_per_insert", "node_splits", "mbb_changes", "cbb_changes"],
+        title="Figure 12 — expected #re-clips per insertion (by cause)",
+    ))
+
+    # The §IV-D strategies avoid the worst case of one extra CBB update per
+    # insert: the CBB-only component stays well below 1.0.
+    assert all(row["cbb_changes"] < 1.0 for row in rows)
+    # Causes add up to the total.
+    for row in rows:
+        total = row["node_splits"] + row["mbb_changes"] + row["cbb_changes"]
+        assert abs(total - row["reclips_per_insert"]) < 0.01
+    # The R*-tree suffers the most re-clips on average (forced reinsertion),
+    # as observed in the paper.
+    by_variant = {}
+    for row in rows:
+        by_variant.setdefault(row["variant"], []).append(row["reclips_per_insert"])
+    averages = {variant: sum(values) / len(values) for variant, values in by_variant.items()}
+    assert averages["R*-tree"] >= min(averages.values())

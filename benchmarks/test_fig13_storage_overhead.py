@@ -1,0 +1,27 @@
+"""Figure 13: storage overhead of clip points in clipped RR*-trees."""
+
+from repro.bench.reporting import format_table
+from repro.bench.experiments import fig13_storage
+
+
+def test_fig13_storage_overhead(benchmark, context):
+    rows = benchmark.pedantic(fig13_storage.run, args=(context,), rounds=1, iterations=1)
+    print("\n" + format_table(rows, title="Figure 13 — storage breakdown of clipped RR*-trees (%)"))
+
+    for row in rows:
+        # Shares add up to 100 %.
+        total = row["dir_nodes_pct"] + row["leaf_nodes_pct"] + row["clip_points_pct"]
+        assert abs(total - 100.0) < 0.1
+        # Storage is dominated by leaf nodes; clip points are a small add-on
+        # (the paper: <=2 % in 2d, <=9 % in 3d; we allow a looser bound since
+        # our nodes are smaller).
+        assert row["leaf_nodes_pct"] > 50.0
+        assert row["clip_points_pct"] < 25.0
+
+    # CSKY stores fewer clip points than CSTA for the same dataset.
+    by_dataset = {}
+    for row in rows:
+        by_dataset.setdefault(row["dataset"], {})[row["method"]] = row
+    for dataset, methods in by_dataset.items():
+        assert methods["CSKY"]["avg_clip_points"] <= methods["CSTA"]["avg_clip_points"] + 1e-9
+        assert methods["CSKY"]["clip_points_pct"] <= methods["CSTA"]["clip_points_pct"] + 1e-9

@@ -1,0 +1,18 @@
+"""Figure 14: index-building time and CBB-computation overhead."""
+
+from repro.bench.reporting import format_table
+from repro.bench.experiments import fig14_build_time
+
+
+def test_fig14_build_time(benchmark, context):
+    rows = benchmark.pedantic(fig14_build_time.run, args=(context,), rounds=1, iterations=1)
+    print("\n" + format_table(rows, title="Figure 14 — build time relative to unclipped RR*-tree (%)"))
+
+    for row in rows:
+        # The bulk-loaded HR-tree is the fastest to build.
+        assert row["hr_tree_pct"] <= 100.0 + 10.0
+        # Clipping adds overhead on top of the plain RR*-tree build.
+        assert row["csky_rrstar_pct"] >= 100.0 - 15.0
+        assert row["csta_rrstar_pct"] >= row["csky_rrstar_pct"] - 15.0
+        # The stairline computation is at least as expensive as the skyline one.
+        assert row["csta_clip_share_pct"] >= row["csky_clip_share_pct"] - 5.0

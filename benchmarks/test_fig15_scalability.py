@@ -1,0 +1,31 @@
+"""Figure 15: query latency on a cold simulated disk at the largest scale."""
+
+from repro.bench.reporting import format_table
+from repro.bench.experiments import fig15_scalability
+
+
+def test_fig15_scalability(benchmark, context):
+    rows = benchmark.pedantic(fig15_scalability.run, args=(context,), rounds=1, iterations=1)
+    print("\n" + format_table(rows, title="Figure 15 — avg. simulated query time (ms), cold buffer pool"))
+
+    for row in rows:
+        # Clipping reduces (or at worst matches) simulated query latency; a
+        # small tolerance absorbs LRU-eviction noise between separate runs.
+        assert row["CSTA_ms"] <= row["unclipped_ms"] * 1.05 + 1e-9
+        assert row["CSKY_ms"] <= row["unclipped_ms"] * 1.05 + 1e-9
+
+    # The paper's stand-out observation: a stairline-clipped HR-tree becomes
+    # competitive with the unclipped RR*-tree.
+    for dataset in {row["dataset"] for row in rows}:
+        for profile in {row["profile"] for row in rows}:
+            hr = next(
+                (r for r in rows if r["dataset"] == dataset and r["profile"] == profile and r["variant"] == "HR-tree"),
+                None,
+            )
+            rr = next(
+                (r for r in rows if r["dataset"] == dataset and r["profile"] == profile and r["variant"] == "RR*-tree"),
+                None,
+            )
+            if hr is None or rr is None:
+                continue
+            assert hr["CSTA_ms"] <= rr["unclipped_ms"] * 1.6

@@ -1,0 +1,50 @@
+"""Micro-benchmarks of the core CBB operations (true pytest-benchmark timings)."""
+
+import random
+
+from repro.cbb.clipping import ClippingConfig, compute_clip_points
+from repro.cbb.intersection import clipped_intersects
+from repro.geometry.rect import Rect, mbb_of_rects
+from repro.skyline.skyline import oriented_skyline
+
+
+def _random_rects(count, dims, seed):
+    rng = random.Random(seed)
+    rects = []
+    for _ in range(count):
+        low = [rng.uniform(0, 100) for _ in range(dims)]
+        high = [lo + rng.uniform(0.1, 5.0) for lo in low]
+        rects.append(Rect(low, high))
+    return rects
+
+
+def test_bench_oriented_skyline(benchmark):
+    rects = _random_rects(64, 2, seed=1)
+    corners = [r.corner(0) for r in rects]
+    result = benchmark(oriented_skyline, corners, 0)
+    assert result
+
+
+def test_bench_clip_node_skyline(benchmark):
+    rects = _random_rects(64, 2, seed=2)
+    mbb = mbb_of_rects(rects)
+    config = ClippingConfig(method="skyline")
+    clips = benchmark(compute_clip_points, mbb, rects, config)
+    assert isinstance(clips, list)
+
+
+def test_bench_clip_node_stairline(benchmark):
+    rects = _random_rects(64, 3, seed=3)
+    mbb = mbb_of_rects(rects)
+    config = ClippingConfig(method="stairline")
+    clips = benchmark(compute_clip_points, mbb, rects, config)
+    assert isinstance(clips, list)
+
+
+def test_bench_clipped_intersection_test(benchmark):
+    rects = _random_rects(64, 3, seed=4)
+    mbb = mbb_of_rects(rects)
+    clips = compute_clip_points(mbb, rects, ClippingConfig(method="stairline"))
+    query = Rect([1.0, 1.0, 1.0], [4.0, 4.0, 4.0])
+    result = benchmark(clipped_intersects, mbb, clips, query)
+    assert result in (True, False)

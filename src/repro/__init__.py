@@ -1,0 +1,29 @@
+"""repro — Clipped Bounding Boxes (CBB) for spatial data processing.
+
+A from-scratch reproduction of *"Improving Spatial Data Processing by
+Clipping Minimum Bounding Boxes"* (Šidlauskas et al., ICDE 2018): four
+disk-based R-tree variants, the clipped-bounding-box plugin (skyline and
+stairline clipping), alternative bounding geometries, spatial joins,
+synthetic stand-ins for the paper's datasets, and a benchmark harness that
+regenerates every table and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro.datasets import generate
+    from repro.rtree import build_rtree, ClippedRTree
+    from repro.query import RangeQueryWorkload
+
+    objects = generate("par02", size=5000, seed=7)
+    tree = build_rtree("rstar", objects)
+    clipped = ClippedRTree.wrap(tree, method="stairline")
+
+    workload = RangeQueryWorkload.from_objects(objects, target_results=10, seed=1)
+    for box in workload.queries(100):
+        hits = clipped.range_query(box)
+"""
+
+from repro.geometry import Rect, SpatialObject
+
+__version__ = "0.1.0"
+
+__all__ = ["Rect", "SpatialObject", "__version__"]

@@ -1,0 +1,14 @@
+"""Benchmark harness: configuration, shared builders, and per-figure experiments.
+
+Every table and figure of the paper's evaluation has a module under
+``repro.bench.experiments`` whose ``run(config)`` function returns the
+rows the paper plots; the ``benchmarks/`` pytest-benchmark suite executes
+them and prints the tables, and ``EXPERIMENTS.md`` records the comparison
+against the published numbers.
+"""
+
+from repro.bench.config import BenchConfig
+from repro.bench.harness import ExperimentContext
+from repro.bench.reporting import format_table
+
+__all__ = ["BenchConfig", "ExperimentContext", "format_table"]

@@ -1,0 +1,82 @@
+"""Benchmark configuration.
+
+The paper's datasets hold 1–12 million objects; re-running every
+experiment at that scale in pure Python would take days, and all reported
+quantities are ratios that stabilise at much smaller sizes (see
+DESIGN.md §3).  ``BenchConfig`` therefore defaults to a few thousand
+objects per dataset and can be scaled with the ``REPRO_BENCH_SCALE``
+environment variable (e.g. ``REPRO_BENCH_SCALE=4`` quadruples every
+dataset and query count).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+def _scale() -> float:
+    try:
+        return float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+    except ValueError:
+        return 1.0
+
+
+_DEFAULT_SIZES = {
+    "par02": 3200,
+    "par03": 2200,
+    "rea02": 3200,
+    "rea03": 3200,
+    "axo03": 2200,
+    "den03": 2200,
+    "neu03": 2200,
+}
+
+
+@dataclass
+class BenchConfig:
+    """Parameters shared by every experiment."""
+
+    #: objects per dataset (already scaled by REPRO_BENCH_SCALE)
+    dataset_sizes: Dict[str, int] = field(default_factory=dict)
+    #: queries evaluated per (dataset, profile)
+    queries_per_profile: int = 36
+    #: node capacity used when building trees (kept moderate so that pure-
+    #: Python insertion-built variants stay fast; the paper derives it from
+    #: a 4 KiB page instead, see repro.storage.page)
+    max_entries: int = 24
+    #: maximum clip points per node: ``None`` means the paper's 2**(d+1)
+    clip_k: int | None = None
+    #: minimum clipped volume as a fraction of node volume (paper: 2.5 %)
+    clip_tau: float = 0.025
+    #: base RNG seed
+    seed: int = 7
+    #: dataset size used by the Figure 15 scalability experiment
+    scalability_size: int = 5000
+    #: objects per side of the spatial-join experiment
+    join_size: int = 1200
+    #: the R-tree variants, in the paper's order
+    variants: Tuple[str, ...] = ("quadratic", "hilbert", "rstar", "rrstar")
+
+    def __post_init__(self):
+        if not self.dataset_sizes:
+            scale = _scale()
+            self.dataset_sizes = {
+                name: max(200, int(size * scale)) for name, size in _DEFAULT_SIZES.items()
+            }
+
+    def size_of(self, dataset: str) -> int:
+        """Number of objects to generate for ``dataset``."""
+        return self.dataset_sizes.get(dataset, 2000)
+
+    @classmethod
+    def tiny(cls) -> "BenchConfig":
+        """A very small configuration used by the test-suite."""
+        return cls(
+            dataset_sizes={name: 400 for name in _DEFAULT_SIZES},
+            queries_per_profile=10,
+            max_entries=16,
+            scalability_size=1200,
+            join_size=400,
+        )

@@ -1,0 +1,51 @@
+"""Figure 10: how much dead space the clip points remove, varying k."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import ExperimentContext
+from repro.bench.reporting import percent
+from repro.metrics.dead_space import clipped_dead_space_summary
+from repro.rtree.registry import VARIANT_LABELS
+
+DATASETS = ("par02", "par03", "rea02", "axo03")
+
+#: k values of the figure: 1..2**(d+1) for 2d and 3d datasets.
+K_VALUES_2D = (1, 2, 4, 6, 8)
+K_VALUES_3D = (1, 4, 8, 12, 16)
+
+
+def k_values_for(dataset: str) -> Sequence[int]:
+    """The k sweep used by the figure for the given dataset."""
+    return K_VALUES_3D if dataset.endswith("03") else K_VALUES_2D
+
+
+def run(
+    context: ExperimentContext,
+    methods: Sequence[str] = ("skyline", "stairline"),
+    datasets: Sequence[str] = DATASETS,
+    k_values: Optional[Sequence[int]] = None,
+) -> List[Dict]:
+    """Dead space per node, split into clipped and remaining, for each k."""
+    rows: List[Dict] = []
+    for method in methods:
+        for dataset in datasets:
+            sweep = k_values if k_values is not None else k_values_for(dataset)
+            for variant in context.config.variants:
+                for k in sweep:
+                    clipped = context.clipped(dataset, variant, method=method, k=k)
+                    summary = clipped_dead_space_summary(clipped)
+                    rows.append(
+                        {
+                            "method": method,
+                            "dataset": dataset,
+                            "variant": VARIANT_LABELS[variant],
+                            "k": k,
+                            "dead_space_pct": percent(summary.dead_space),
+                            "clipped_pct": percent(summary.clipped),
+                            "remaining_pct": percent(summary.remaining),
+                            "clipped_share_pct": percent(summary.clipped_share_of_dead_space),
+                        }
+                    )
+    return rows

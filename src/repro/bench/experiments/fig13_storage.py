@@ -1,0 +1,33 @@
+"""Figure 13: storage overhead of clipped RR*-trees."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.bench.harness import ExperimentContext
+from repro.datasets.registry import DATASET_NAMES
+from repro.metrics.storage_breakdown import storage_breakdown_percent
+
+
+def run(
+    context: ExperimentContext,
+    datasets: Sequence[str] = DATASET_NAMES,
+    variant: str = "rrstar",
+) -> List[Dict]:
+    """Byte share of directory nodes / leaf nodes / clip points per dataset."""
+    rows: List[Dict] = []
+    for dataset in datasets:
+        for method, label in (("skyline", "CSKY"), ("stairline", "CSTA")):
+            clipped = context.clipped(dataset, variant, method=method)
+            breakdown = storage_breakdown_percent(clipped)
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "method": label,
+                    "dir_nodes_pct": round(breakdown["dir_nodes"], 2),
+                    "leaf_nodes_pct": round(breakdown["leaf_nodes"], 2),
+                    "clip_points_pct": round(breakdown["clip_points"], 2),
+                    "avg_clip_points": round(breakdown["avg_clip_points"], 2),
+                }
+            )
+    return rows

@@ -1,0 +1,93 @@
+"""Shared builders with caching so experiments reuse datasets and trees."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.config import BenchConfig
+from repro.cbb.clipping import ClippingConfig
+from repro.datasets import generate
+from repro.geometry.objects import SpatialObject
+from repro.query.workload import RangeQueryWorkload
+from repro.rtree.base import RTreeBase
+from repro.rtree.clipped import ClippedRTree
+from repro.rtree.registry import build_rtree
+
+
+class ExperimentContext:
+    """Builds and caches datasets, trees, clipped trees, and workloads.
+
+    Building an insertion-based R-tree is by far the most expensive step of
+    the benchmark suite, so every experiment shares one context (module
+    scope in the pytest-benchmark suite) and looks objects/trees up here.
+    """
+
+    def __init__(self, config: Optional[BenchConfig] = None):
+        self.config = config if config is not None else BenchConfig()
+        self._objects: Dict[Tuple[str, int, int], List[SpatialObject]] = {}
+        self._trees: Dict[Tuple[str, str, int, int], RTreeBase] = {}
+        self._clipped: Dict[Tuple[int, str, Optional[int], float], ClippedRTree] = {}
+        self._workloads: Dict[Tuple[str, int, int], RangeQueryWorkload] = {}
+
+    # ------------------------------------------------------------------
+
+    def objects(self, dataset: str, size: Optional[int] = None, seed: Optional[int] = None) -> List[SpatialObject]:
+        """Objects of ``dataset`` at the configured size (cached)."""
+        size = self.config.size_of(dataset) if size is None else size
+        seed = self.config.seed if seed is None else seed
+        key = (dataset, size, seed)
+        if key not in self._objects:
+            self._objects[key] = generate(dataset, size, seed=seed)
+        return self._objects[key]
+
+    def tree(
+        self,
+        dataset: str,
+        variant: str,
+        size: Optional[int] = None,
+        max_entries: Optional[int] = None,
+    ) -> RTreeBase:
+        """An R-tree of ``variant`` over ``dataset`` (cached)."""
+        size = self.config.size_of(dataset) if size is None else size
+        max_entries = self.config.max_entries if max_entries is None else max_entries
+        key = (dataset, variant, size, max_entries)
+        if key not in self._trees:
+            objects = self.objects(dataset, size)
+            self._trees[key] = build_rtree(variant, objects, max_entries=max_entries)
+        return self._trees[key]
+
+    def clipped(
+        self,
+        dataset: str,
+        variant: str,
+        method: str = "stairline",
+        k: Optional[int] = None,
+        tau: Optional[float] = None,
+        size: Optional[int] = None,
+    ) -> ClippedRTree:
+        """A clipped wrapper around the cached tree (cached per parameters)."""
+        tree = self.tree(dataset, variant, size=size)
+        k = self.config.clip_k if k is None else k
+        tau = self.config.clip_tau if tau is None else tau
+        key = (id(tree), method, k, tau)
+        if key not in self._clipped:
+            clipped = ClippedRTree(tree, ClippingConfig(method=method, k=k, tau=tau))
+            clipped.clip_all()
+            self._clipped[key] = clipped
+        return self._clipped[key]
+
+    def workload(self, dataset: str, target_results: int, size: Optional[int] = None) -> RangeQueryWorkload:
+        """A calibrated range-query workload over ``dataset`` (cached)."""
+        size = self.config.size_of(dataset) if size is None else size
+        key = (dataset, target_results, size)
+        if key not in self._workloads:
+            objects = self.objects(dataset, size)
+            self._workloads[key] = RangeQueryWorkload.from_objects(
+                objects, target_results=target_results, seed=self.config.seed
+            )
+        return self._workloads[key]
+
+    def queries(self, dataset: str, target_results: int, size: Optional[int] = None):
+        """A materialised list of queries for the given profile."""
+        workload = self.workload(dataset, target_results, size=size)
+        return workload.query_list(self.config.queries_per_profile)

@@ -1,0 +1,39 @@
+"""Plain-text table formatting for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(value: Cell) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict[str, Cell]], columns: Sequence[str] = None, title: str = "") -> str:
+    """Render ``rows`` (dicts) as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    table: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        table.append([_format_cell(row.get(c, "")) for c in columns])
+    widths = [max(len(line[i]) for line in table) for i in range(len(columns))]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(cell.ljust(width) for cell, width in zip(table[0], widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for line in table[1:]:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def percent(value: float) -> float:
+    """Convert a fraction to a percentage rounded to one decimal."""
+    return round(100.0 * value, 1)

@@ -1,0 +1,25 @@
+"""Alternative bounding geometries compared against CBBs (Figures 8 and 9).
+
+All shapes are 2d — the paper restricts this comparison to 2d datasets
+because minimum m-corner polytopes have no practical construction in
+higher dimensions — and bound the *corner points* of a group of child
+rectangles, exactly as the figure does for R-tree nodes.
+"""
+
+from repro.bounding.base import BoundingShape, bounding_shape, SHAPE_NAMES
+from repro.bounding.circle import BoundingCircle, minimum_bounding_circle
+from repro.bounding.convex_hull import ConvexPolygon, convex_hull
+from repro.bounding.mcorner import m_corner_polygon
+from repro.bounding.rotated_mbb import rotated_minimum_bounding_box
+
+__all__ = [
+    "BoundingShape",
+    "bounding_shape",
+    "SHAPE_NAMES",
+    "BoundingCircle",
+    "minimum_bounding_circle",
+    "ConvexPolygon",
+    "convex_hull",
+    "rotated_minimum_bounding_box",
+    "m_corner_polygon",
+]

@@ -1,0 +1,92 @@
+"""Uniform interface over the compared bounding shapes (Figures 8 and 9).
+
+Every shape bounds the *corner points* of a set of 2d child rectangles.
+``bounding_shape`` dispatches on the shape name used in the paper:
+``"MBC"``, ``"MBB"``, ``"RMBB"``, ``"4-C"``, ``"5-C"``, ``"CH"``.
+The CBB variants are not built here — they come from
+:func:`repro.cbb.clipping.compute_clip_points` — but the Figure 9 bench
+presents all eight side by side.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Sequence, Tuple
+
+from repro.bounding.circle import minimum_bounding_circle
+from repro.bounding.convex_hull import ConvexPolygon, convex_hull
+from repro.bounding.mcorner import m_corner_polygon
+from repro.bounding.rotated_mbb import rotated_minimum_bounding_box
+from repro.geometry.rect import Rect, mbb_of_rects
+
+Point = Tuple[float, float]
+
+#: Shape names in the order of Figure 8/9 (CBB rows are added by the bench).
+SHAPE_NAMES = ("MBC", "MBB", "RMBB", "4-C", "5-C", "CH")
+
+
+class BoundingShape(Protocol):
+    """Anything with an area and a representation cost in points."""
+
+    def area(self) -> float:
+        ...  # pragma: no cover - protocol
+
+    def num_points(self) -> int:
+        ...  # pragma: no cover - protocol
+
+
+class _RectShape:
+    """Adapter presenting a Rect with the BoundingShape interface."""
+
+    def __init__(self, rect: Rect):
+        self.rect = rect
+
+    def area(self) -> float:
+        return self.rect.volume()
+
+    def num_points(self) -> int:
+        return 2
+
+
+def corner_points(rects: Sequence[Rect]) -> List[Point]:
+    """All four corners of every rectangle (2d only)."""
+    points: List[Point] = []
+    for rect in rects:
+        if rect.dims != 2:
+            raise ValueError("bounding-shape comparison is 2d only")
+        (x1, y1), (x2, y2) = rect.low, rect.high
+        points.extend([(x1, y1), (x1, y2), (x2, y1), (x2, y2)])
+    return points
+
+
+def bounding_shape(kind: str, rects: Sequence[Rect]) -> BoundingShape:
+    """Build the named bounding shape over the corners of ``rects``."""
+    points = corner_points(rects)
+    kind = kind.upper()
+    if kind == "MBC":
+        return minimum_bounding_circle(points)
+    if kind == "MBB":
+        return _RectShape(mbb_of_rects(rects))
+    if kind == "RMBB":
+        return rotated_minimum_bounding_box(points)
+    if kind == "4-C":
+        return m_corner_polygon(points, 4)
+    if kind == "5-C":
+        return m_corner_polygon(points, 5)
+    if kind == "CH":
+        return convex_hull(points)
+    raise ValueError(f"unknown bounding shape {kind!r}; known: {SHAPE_NAMES}")
+
+
+def dead_space_of_shape(shape: BoundingShape, rects: Sequence[Rect]) -> float:
+    """Fraction of the shape's area not covered by the child rectangles.
+
+    The children always lie inside the shape, so the exact union area of
+    the rectangles can simply be subtracted from the shape's area.
+    """
+    from repro.geometry.union_volume import union_volume
+
+    area = shape.area()
+    if area <= 0.0:
+        return 1.0
+    covered = union_volume(rects)
+    return max(0.0, min(1.0, 1.0 - covered / area))

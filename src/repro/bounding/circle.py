@@ -1,0 +1,95 @@
+"""Minimum bounding circle via Welzl's algorithm (expected linear time)."""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class BoundingCircle:
+    """A circle given by centre and radius."""
+
+    center: Point
+    radius: float
+
+    def area(self) -> float:
+        """Disc area."""
+        return math.pi * self.radius * self.radius
+
+    def num_points(self) -> int:
+        """Representation cost: centre point plus a radius (counted as 2)."""
+        return 2
+
+    def contains_point(self, point: Point, eps: float = 1e-9) -> bool:
+        """True when ``point`` lies inside or on the circle."""
+        return math.dist(self.center, point) <= self.radius * (1.0 + eps) + eps
+
+
+def _circle_two(a: Point, b: Point) -> BoundingCircle:
+    center = ((a[0] + b[0]) / 2.0, (a[1] + b[1]) / 2.0)
+    return BoundingCircle(center, math.dist(a, b) / 2.0)
+
+
+def _circle_three(a: Point, b: Point, c: Point) -> Optional[BoundingCircle]:
+    ax, ay = a
+    bx, by = b
+    cx, cy = c
+    d = 2.0 * (ax * (by - cy) + bx * (cy - ay) + cx * (ay - by))
+    if abs(d) < 1e-18:
+        return None
+    ux = ((ax * ax + ay * ay) * (by - cy) + (bx * bx + by * by) * (cy - ay) + (cx * cx + cy * cy) * (ay - by)) / d
+    uy = ((ax * ax + ay * ay) * (cx - bx) + (bx * bx + by * by) * (ax - cx) + (cx * cx + cy * cy) * (bx - ax)) / d
+    center = (ux, uy)
+    return BoundingCircle(center, math.dist(center, a))
+
+
+def _trivial(boundary: List[Point]) -> BoundingCircle:
+    if not boundary:
+        return BoundingCircle((0.0, 0.0), 0.0)
+    if len(boundary) == 1:
+        return BoundingCircle(boundary[0], 0.0)
+    if len(boundary) == 2:
+        return _circle_two(boundary[0], boundary[1])
+    circle = _circle_three(*boundary)
+    if circle is not None:
+        return circle
+    # Collinear triple: fall back to the widest pair.
+    best = None
+    for i in range(3):
+        for j in range(i + 1, 3):
+            candidate = _circle_two(boundary[i], boundary[j])
+            if best is None or candidate.radius > best.radius:
+                best = candidate
+    return best
+
+
+def minimum_bounding_circle(points: Sequence[Point], seed: int = 0) -> BoundingCircle:
+    """Smallest enclosing circle of ``points`` (Welzl, 1991)."""
+    pts = [(float(x), float(y)) for x, y in points]
+    if not pts:
+        raise ValueError("cannot bound an empty point set")
+    rng = random.Random(seed)
+    shuffled = list(dict.fromkeys(pts))
+    rng.shuffle(shuffled)
+
+    circle = BoundingCircle(shuffled[0], 0.0)
+    for i, p in enumerate(shuffled):
+        if circle.contains_point(p):
+            continue
+        circle = BoundingCircle(p, 0.0)
+        for j in range(i):
+            q = shuffled[j]
+            if circle.contains_point(q):
+                continue
+            circle = _circle_two(p, q)
+            for k in range(j):
+                r = shuffled[k]
+                if circle.contains_point(r):
+                    continue
+                circle = _trivial([p, q, r])
+    return circle

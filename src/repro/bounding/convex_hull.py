@@ -1,0 +1,90 @@
+"""Convex hulls and convex polygons (2d)."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+
+class ConvexPolygon:
+    """A convex polygon given by its vertices in counter-clockwise order."""
+
+    def __init__(self, vertices: Sequence[Point]):
+        if len(vertices) < 1:
+            raise ValueError("a polygon needs at least one vertex")
+        self.vertices: List[Point] = [(float(x), float(y)) for x, y in vertices]
+
+    def area(self) -> float:
+        """Polygon area via the shoelace formula (0 for degenerate polygons)."""
+        verts = self.vertices
+        if len(verts) < 3:
+            return 0.0
+        total = 0.0
+        for (x1, y1), (x2, y2) in zip(verts, verts[1:] + verts[:1]):
+            total += x1 * y2 - x2 * y1
+        return abs(total) / 2.0
+
+    def perimeter(self) -> float:
+        """Sum of edge lengths."""
+        verts = self.vertices
+        if len(verts) < 2:
+            return 0.0
+        return sum(
+            math.dist(a, b) for a, b in zip(verts, verts[1:] + verts[:1])
+        )
+
+    def num_points(self) -> int:
+        """Number of vertices (the shape's representation cost)."""
+        return len(self.vertices)
+
+    def contains_point(self, point: Point, eps: float = 1e-9) -> bool:
+        """True when ``point`` lies inside or on the boundary."""
+        verts = self.vertices
+        if len(verts) == 1:
+            return math.dist(verts[0], point) <= eps
+        if len(verts) == 2:
+            return _on_segment(verts[0], verts[1], point, eps)
+        px, py = point
+        for (x1, y1), (x2, y2) in zip(verts, verts[1:] + verts[:1]):
+            cross = (x2 - x1) * (py - y1) - (y2 - y1) * (px - x1)
+            if cross < -eps * max(1.0, abs(x2 - x1) + abs(y2 - y1)):
+                return False
+        return True
+
+
+def _on_segment(a: Point, b: Point, p: Point, eps: float) -> bool:
+    cross = (b[0] - a[0]) * (p[1] - a[1]) - (b[1] - a[1]) * (p[0] - a[0])
+    if abs(cross) > eps * max(1.0, math.dist(a, b)):
+        return False
+    dot = (p[0] - a[0]) * (b[0] - a[0]) + (p[1] - a[1]) * (b[1] - a[1])
+    return -eps <= dot <= math.dist(a, b) ** 2 + eps
+
+
+def _cross(o: Point, a: Point, b: Point) -> float:
+    return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+
+def convex_hull(points: Sequence[Point]) -> ConvexPolygon:
+    """Convex hull via Andrew's monotone chain (collinear points dropped)."""
+    unique = sorted(set((float(x), float(y)) for x, y in points))
+    if not unique:
+        raise ValueError("cannot hull an empty point set")
+    if len(unique) <= 2:
+        return ConvexPolygon(unique)
+
+    lower: List[Point] = []
+    for p in unique:
+        while len(lower) >= 2 and _cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+    upper: List[Point] = []
+    for p in reversed(unique):
+        while len(upper) >= 2 and _cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+    hull = lower[:-1] + upper[:-1]
+    if len(hull) < 3:
+        return ConvexPolygon(unique[:2])
+    return ConvexPolygon(hull)

@@ -1,0 +1,83 @@
+"""Minimum-area enclosing polygons with at most m corners (4-C, 5-C).
+
+The exact algorithm (Aggarwal, Chang, Chee 1985) is involved; the paper
+only needs the resulting areas for a comparison figure, so we use the
+standard greedy edge-removal heuristic: start from the convex hull and
+repeatedly remove the edge whose removal — by extending its two
+neighbouring edges until they intersect — adds the least area, until at
+most ``m`` corners remain.  Each step replaces two vertices by one and the
+result always contains the hull, so containment of the input is
+preserved; areas are close to optimal on R-tree-node sized inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bounding.convex_hull import ConvexPolygon, convex_hull
+
+Point = Tuple[float, float]
+
+
+def _extend_to_intersection(
+    a0: Point, a1: Point, b0: Point, b1: Point
+) -> Optional[Tuple[Point, float]]:
+    """Intersection of rays a0->a1 and b0->b1 extended *beyond* a1 and b1.
+
+    Returns ``(point, added_area)`` where ``added_area`` is the area of the
+    triangle (a1, point, b1), or ``None`` when the rays do not converge
+    beyond the edge (removal would not preserve containment).
+    """
+    dax, day = a1[0] - a0[0], a1[1] - a0[1]
+    dbx, dby = b1[0] - b0[0], b1[1] - b0[1]
+    denom = dax * dby - day * dbx
+    if abs(denom) < 1e-15:
+        return None
+    # Solve a0 + t*da == b0 + s*db.
+    t = ((b0[0] - a0[0]) * dby - (b0[1] - a0[1]) * dbx) / denom
+    s = ((b0[0] - a0[0]) * day - (b0[1] - a0[1]) * dax) / denom
+    if t <= 1.0 + 1e-12 or s <= 1.0 + 1e-12:
+        return None
+    crossing = (a0[0] + t * dax, a0[1] + t * day)
+    added = (
+        abs(
+            (crossing[0] - a1[0]) * (b1[1] - a1[1])
+            - (b1[0] - a1[0]) * (crossing[1] - a1[1])
+        )
+        / 2.0
+    )
+    return crossing, added
+
+
+def m_corner_polygon(points: Sequence[Point], corners: int) -> ConvexPolygon:
+    """Enclosing convex polygon with at most ``corners`` vertices."""
+    if corners < 3:
+        raise ValueError("a bounding polygon needs at least 3 corners")
+    hull = convex_hull(points)
+    verts: List[Point] = list(hull.vertices)
+    if len(verts) <= corners:
+        return ConvexPolygon(verts)
+
+    while len(verts) > corners:
+        n = len(verts)
+        best: Optional[Tuple[float, int, Point]] = None
+        for i in range(n):
+            # Candidate edge to remove: (verts[i], verts[i+1]).
+            prev_vertex = verts[(i - 1) % n]
+            v_i = verts[i]
+            v_next = verts[(i + 1) % n]
+            after_next = verts[(i + 2) % n]
+            extended = _extend_to_intersection(prev_vertex, v_i, after_next, v_next)
+            if extended is None:
+                continue
+            crossing, added = extended
+            if best is None or added < best[0]:
+                best = (added, i, crossing)
+        if best is None:
+            # No removable edge (degenerate polygon); return as-is.
+            break
+        _, index, crossing = best
+        verts[index] = crossing
+        del verts[(index + 1) % len(verts)]
+    return ConvexPolygon(verts)

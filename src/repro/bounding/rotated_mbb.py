@@ -1,0 +1,47 @@
+"""Rotated (arbitrarily oriented) minimum bounding box, 2d.
+
+Computed as in the paper: iterate the edges of the convex hull and, for
+each edge orientation, compute the axis-aligned bounding box in the
+rotated frame; the minimum-area one is returned as a 4-vertex polygon.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from repro.bounding.convex_hull import ConvexPolygon, convex_hull
+
+Point = Tuple[float, float]
+
+
+def rotated_minimum_bounding_box(points: Sequence[Point]) -> ConvexPolygon:
+    """Minimum-area enclosing rectangle over all orientations of hull edges."""
+    hull = convex_hull(points)
+    verts = hull.vertices
+    if len(verts) < 3:
+        # Degenerate input: a zero-area "rectangle" along the segment.
+        return ConvexPolygon(verts)
+
+    best_area = math.inf
+    best_corners = None
+    for (x1, y1), (x2, y2) in zip(verts, verts[1:] + verts[:1]):
+        edge_len = math.hypot(x2 - x1, y2 - y1)
+        if edge_len < 1e-15:
+            continue
+        ux, uy = (x2 - x1) / edge_len, (y2 - y1) / edge_len  # edge direction
+        vx, vy = -uy, ux  # normal
+        us = [px * ux + py * uy for px, py in verts]
+        vs = [px * vx + py * vy for px, py in verts]
+        u_min, u_max = min(us), max(us)
+        v_min, v_max = min(vs), max(vs)
+        area = (u_max - u_min) * (v_max - v_min)
+        if area < best_area:
+            best_area = area
+            best_corners = [
+                (u_min * ux + v_min * vx, u_min * uy + v_min * vy),
+                (u_max * ux + v_min * vx, u_max * uy + v_min * vy),
+                (u_max * ux + v_max * vx, u_max * uy + v_max * vy),
+                (u_min * ux + v_max * vx, u_min * uy + v_max * vy),
+            ]
+    return ConvexPolygon(best_corners if best_corners is not None else verts)

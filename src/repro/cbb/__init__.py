@@ -1,0 +1,43 @@
+"""Clipped bounding boxes: clip points, clipping, and clipped intersection.
+
+This package is the paper's core contribution (§III and §IV):
+
+* :class:`~repro.cbb.clip_point.ClipPoint` — a ``(coordinate, corner mask,
+  score)`` triple declaring the box between the coordinate and the MBB
+  corner to be dead space.
+* :func:`~repro.cbb.clipping.compute_clip_points` — Algorithm 1, producing
+  skyline (CSKY) or stairline (CSTA) clip points for one node.
+* :func:`~repro.cbb.intersection.clipped_intersects` — Algorithm 2, the
+  dominance-based intersection test used for both querying and insertion
+  validity checks.
+* :class:`~repro.cbb.store.ClipStore` — the auxiliary table of Figure 4b.
+"""
+
+from repro.cbb.clip_point import ClipPoint
+from repro.cbb.clipping import ClippingConfig, compute_clip_points
+from repro.cbb.intersection import (
+    QUERY_SELECTOR_ALL_DIMS,
+    clipped_intersects,
+    insertion_keeps_clips_valid,
+)
+from repro.cbb.scoring import (
+    clip_region,
+    clip_volume,
+    clipped_union_volume,
+    score_clip_candidates,
+)
+from repro.cbb.store import ClipStore
+
+__all__ = [
+    "ClipPoint",
+    "ClipStore",
+    "ClippingConfig",
+    "compute_clip_points",
+    "clipped_intersects",
+    "insertion_keeps_clips_valid",
+    "QUERY_SELECTOR_ALL_DIMS",
+    "clip_region",
+    "clip_volume",
+    "clipped_union_volume",
+    "score_clip_candidates",
+]

@@ -1,0 +1,98 @@
+"""Clip-point construction for one node (paper, Algorithm 1).
+
+``compute_clip_points`` takes the MBB of a node and the rectangles of its
+children (child MBBs for directory nodes, object rectangles for leaves)
+and produces at most ``k`` clip points whose individual scores exceed
+``tau`` times the node volume.
+
+Two methods are supported:
+
+* ``"skyline"``  (CSKY, §III-B) — candidates are the oriented skyline of
+  the children's corners, one skyline per corner of the node MBB.
+* ``"stairline"`` (CSTA, §III-C) — the skyline candidates plus all valid
+  splice points between pairs of skyline points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.cbb.clip_point import ClipPoint
+from repro.cbb.scoring import score_clip_candidates
+from repro.geometry.bitmask import all_corner_masks
+from repro.geometry.rect import Rect
+from repro.skyline.skyline import oriented_skyline
+from repro.skyline.stairline import stairline_points
+
+VALID_METHODS = ("skyline", "stairline")
+
+
+@dataclass(frozen=True)
+class ClippingConfig:
+    """Parameters of Algorithm 1.
+
+    ``k`` defaults to ``2**(d+1)`` when left ``None`` (the paper's choice:
+    up to two clip points per corner) and ``tau`` to 2.5 % of the node
+    volume.  ``method`` selects CSKY (``"skyline"``) or CSTA
+    (``"stairline"``).
+    """
+
+    method: str = "stairline"
+    k: int | None = None
+    tau: float = 0.025
+
+    def __post_init__(self):
+        if self.method not in VALID_METHODS:
+            raise ValueError(
+                f"unknown clipping method {self.method!r}; expected one of {VALID_METHODS}"
+            )
+        if self.k is not None and self.k < 0:
+            raise ValueError("k must be non-negative")
+        if not 0.0 <= self.tau < 1.0:
+            raise ValueError("tau must be in [0, 1)")
+
+    def max_clip_points(self, dims: int) -> int:
+        """Effective ``k`` for a node of dimensionality ``dims``."""
+        if self.k is None:
+            return 2 ** (dims + 1)
+        return self.k
+
+
+def compute_clip_points(
+    mbb: Rect,
+    children: Sequence[Rect],
+    config: ClippingConfig = ClippingConfig(),
+) -> List[ClipPoint]:
+    """Algorithm 1: select up to ``k`` clip points for one node.
+
+    Returns clip points sorted by descending score.  Nodes whose MBB has
+    zero volume (e.g. leaves of a pure point dataset that happen to be
+    collinear) cannot be clipped meaningfully and yield an empty list.
+    """
+    if not children:
+        return []
+    dims = mbb.dims
+    node_volume = mbb.volume()
+    if node_volume <= 0.0:
+        return []
+
+    threshold = config.tau * node_volume
+    k = config.max_clip_points(dims)
+    if k == 0:
+        return []
+
+    selected: List[ClipPoint] = []
+    for mask in all_corner_masks(dims):
+        corners = [child.corner(mask) for child in children]
+        skyline = oriented_skyline(corners, mask)
+        candidates = list(skyline)
+        if config.method == "stairline":
+            candidates.extend(stairline_points(skyline, mask, dims))
+
+        for clip in score_clip_candidates(candidates, mask, mbb):
+            if clip.score > threshold:
+                selected.append(clip)
+
+    selected.sort(key=lambda cp: cp.score, reverse=True)
+    return selected[:k]

@@ -1,0 +1,71 @@
+"""Clipped intersection test (paper, Algorithm 2).
+
+The same routine serves two purposes, differentiated by ``selector``:
+
+* **Query** (``selector = 2**d - 1``): test whether a query rectangle
+  intersects the live (non-dead) part of a clipped bounding box.  The
+  query's corner *farthest* from the clip corner is compared to each clip
+  point; if even that corner lies strictly inside a clipped region, the
+  whole of ``Q ∩ R`` is dead space and the node can be skipped.
+* **Insertion validity** (``selector = 0``): test whether a newly inserted
+  rectangle stays clear of every clipped region.  Here the rectangle's
+  corner *closest* to the clip corner is used; if it reaches strictly
+  inside a clipped region, that clip point is invalidated and the node
+  must be re-clipped (§IV-D).
+
+The dominance test is strict in every dimension, which guarantees that a
+query touching an object only on the boundary of a clipped region is never
+pruned (no false negatives under closed-rectangle intersection semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cbb.clip_point import ClipPoint
+from repro.geometry.dominance import strictly_inside_corner_region
+from repro.geometry.rect import Rect
+
+#: Selector value used for range queries: pick the query corner opposite
+#: to the clip corner (``selector XOR mask`` flips every bit).
+QUERY_SELECTOR_ALL_DIMS = -1  # sentinel resolved per-dimensionality below
+
+
+def _resolve_selector(selector: int, dims: int) -> int:
+    if selector == QUERY_SELECTOR_ALL_DIMS:
+        return (1 << dims) - 1
+    return selector
+
+
+def clipped_intersects(
+    mbb: Rect,
+    clip_points: Iterable[ClipPoint],
+    rect: Rect,
+    selector: int = QUERY_SELECTOR_ALL_DIMS,
+) -> bool:
+    """Algorithm 2: does ``rect`` intersect the live part of the CBB?
+
+    Returns ``False`` either when ``rect`` misses the MBB entirely or when
+    one of the clip points proves that ``rect ∩ mbb`` lies wholly inside
+    dead space.
+    """
+    if not mbb.intersects(rect):
+        return False
+    selector = _resolve_selector(selector, mbb.dims)
+    for clip in clip_points:
+        probe = rect.corner(selector ^ clip.mask)
+        if strictly_inside_corner_region(probe, clip.coord, clip.mask):
+            return False
+    return True
+
+
+def insertion_keeps_clips_valid(
+    mbb: Rect, clip_points: Iterable[ClipPoint], rect: Rect
+) -> bool:
+    """True when inserting ``rect`` leaves every clip point valid.
+
+    This is Algorithm 2 with ``selector = 0``: the inserted rectangle's
+    corner closest to each clip corner is probed; reaching strictly inside
+    a clipped region means the region is no longer dead space.
+    """
+    return clipped_intersects(mbb, clip_points, rect, selector=0)

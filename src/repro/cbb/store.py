@@ -1,0 +1,78 @@
+"""Auxiliary clip-point store (paper, Figure 4b).
+
+R-tree nodes are left untouched; clip points live in a separate table
+indexed by node id.  The store also tracks its own storage footprint so
+the Figure 13 storage-breakdown experiment can read it off directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.cbb.clip_point import ClipPoint
+
+
+class ClipStore:
+    """Maps node ids to their (score-ordered) clip points."""
+
+    #: bytes per directory-table entry: node id (4), count (2), pointer (8)
+    ENTRY_HEADER_BYTES = 14
+
+    def __init__(self, coord_bytes: int = 8):
+        self._table: Dict[int, List[ClipPoint]] = {}
+        self._coord_bytes = coord_bytes
+
+    def put(self, node_id: int, clip_points: Sequence[ClipPoint]) -> None:
+        """Store (replacing) the clip points of ``node_id``.
+
+        Points are kept sorted by descending score, the order in which the
+        intersection test probes them.  Storing an empty sequence removes
+        the entry.
+        """
+        points = sorted(clip_points, key=lambda cp: cp.score, reverse=True)
+        if points:
+            self._table[node_id] = points
+        else:
+            self._table.pop(node_id, None)
+
+    def get(self, node_id: int) -> List[ClipPoint]:
+        """Clip points of ``node_id`` (empty list when the node is unclipped)."""
+        return self._table.get(node_id, [])
+
+    def remove(self, node_id: int) -> None:
+        """Drop the entry of ``node_id`` (no-op when absent)."""
+        self._table.pop(node_id, None)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._table
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def items(self) -> Iterator[Tuple[int, List[ClipPoint]]]:
+        """Iterate over ``(node_id, clip_points)`` pairs."""
+        return iter(self._table.items())
+
+    # -- statistics --------------------------------------------------------
+
+    def total_clip_points(self) -> int:
+        """Number of clip points across all nodes."""
+        return sum(len(points) for points in self._table.values())
+
+    def average_clip_points(self) -> float:
+        """Average number of clip points per clipped node (0.0 when empty)."""
+        if not self._table:
+            return 0.0
+        return self.total_clip_points() / len(self._table)
+
+    def storage_bytes(self) -> int:
+        """Approximate byte footprint of the auxiliary structure."""
+        total = 0
+        for points in self._table.values():
+            total += self.ENTRY_HEADER_BYTES
+            total += sum(p.storage_bytes(self._coord_bytes) for p in points)
+        return total
+
+    def clear(self) -> None:
+        """Remove every entry."""
+        self._table.clear()

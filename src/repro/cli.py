@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives quick access to the reproduction without writing any code:
+
+* ``list-experiments`` — show every table/figure experiment and its id;
+* ``run <experiment>`` — run one experiment and print its table(s);
+* ``datasets`` — list the available dataset generators;
+* ``build-info <dataset> <variant>`` — build one index and print tree
+  statistics, dead space, and clipping summaries.
+
+Examples::
+
+    python -m repro list-experiments
+    python -m repro run fig11 --queries 20 --size 1000
+    python -m repro build-info axo03 rstar --size 2000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bench import BenchConfig, ExperimentContext, format_table
+from repro.bench.experiments import (
+    ablations,
+    fig01_motivation,
+    fig08_bounding_example,
+    fig09_bounding_comparison,
+    fig10_clipped_dead_space,
+    fig11_range_queries,
+    fig12_update_cost,
+    fig13_storage,
+    fig14_build_time,
+    fig15_scalability,
+    joins,
+)
+from repro.datasets.registry import DATASET_NAMES, dataset_info
+from repro.metrics.dead_space import average_dead_space, clipped_dead_space_summary
+from repro.metrics.node_stats import tree_stats
+from repro.rtree.clipped import ClippedRTree
+from repro.rtree.registry import VARIANT_NAMES, build_rtree
+
+
+def _run_fig01(context: ExperimentContext) -> str:
+    panels = fig01_motivation.run(context)
+    parts = [
+        format_table(panels["fig1a_overlap"], title="Figure 1a — overlap (%)"),
+        format_table(panels["fig1b_dead_space"], title="Figure 1b — dead space (%)"),
+        format_table(panels["fig1c_io_optimality"], title="Figure 1c — I/O optimality (%)"),
+    ]
+    return "\n\n".join(parts)
+
+
+def _run_fig11(context: ExperimentContext) -> str:
+    rows = fig11_range_queries.run(context)
+    table = fig11_range_queries.table1(rows)
+    return "\n\n".join(
+        [
+            format_table(rows, title="Figure 11 — relative leaf accesses (%)"),
+            format_table(table, title="Table I — avg. % I/O reduction (skyline/stairline)"),
+        ]
+    )
+
+
+def _run_ablations(context: ExperimentContext) -> str:
+    return "\n\n".join(
+        [
+            format_table(ablations.run_tau_sweep(context), title="τ sweep"),
+            format_table(ablations.run_scoring_comparison(context), title="scoring approximation"),
+            format_table(ablations.run_k_sweep_io(context), title="k sweep (query I/O)"),
+        ]
+    )
+
+
+EXPERIMENTS: Dict[str, Callable[[ExperimentContext], str]] = {
+    "fig01": _run_fig01,
+    "fig08": lambda context: format_table(fig08_bounding_example.run(), title="Figure 8"),
+    "fig09": lambda context: format_table(fig09_bounding_comparison.run(context), title="Figure 9"),
+    "fig10": lambda context: format_table(fig10_clipped_dead_space.run(context), title="Figure 10"),
+    "fig11": _run_fig11,
+    "fig12": lambda context: format_table(fig12_update_cost.run(context), title="Figure 12"),
+    "fig13": lambda context: format_table(fig13_storage.run(context), title="Figure 13"),
+    "fig14": lambda context: format_table(fig14_build_time.run(context), title="Figure 14"),
+    "joins": lambda context: format_table(joins.run(context), title="Spatial joins (§V)"),
+    "fig15": lambda context: format_table(fig15_scalability.run(context), title="Figure 15"),
+    "ablations": _run_ablations,
+}
+
+_EXPERIMENT_DESCRIPTIONS = {
+    "fig01": "overlap, dead space, and I/O optimality of unclipped R-trees",
+    "fig08": "bounding methods on the paper's running example",
+    "fig09": "dead space vs representation cost of 8 bounding methods",
+    "fig10": "dead space clipped away as k varies (CSKY and CSTA)",
+    "fig11": "range-query I/O of clipped vs unclipped trees + Table I",
+    "fig12": "expected re-clips per insertion",
+    "fig13": "storage overhead of clip points",
+    "fig14": "build-time overhead of clipping",
+    "joins": "INLJ and STT spatial joins with and without clipping",
+    "fig15": "cold-disk scalability experiment",
+    "ablations": "τ sweep, scoring approximation error, k sweep",
+}
+
+
+def _make_config(args: argparse.Namespace) -> BenchConfig:
+    config = BenchConfig()
+    if args.size is not None:
+        config.dataset_sizes = {name: args.size for name in config.dataset_sizes}
+    if args.queries is not None:
+        config.queries_per_profile = args.queries
+    if args.max_entries is not None:
+        config.max_entries = args.max_entries
+    return config
+
+
+def _cmd_list_experiments(_: argparse.Namespace) -> int:
+    rows = [
+        {"experiment": name, "description": _EXPERIMENT_DESCRIPTIONS[name]}
+        for name in EXPERIMENTS
+    ]
+    print(format_table(rows, title="Available experiments"))
+    return 0
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    rows = []
+    for name in DATASET_NAMES:
+        generator = dataset_info(name)
+        rows.append({"dataset": name, "dims": generator.dims, "description": generator.description})
+    print(format_table(rows, title="Datasets (synthetic stand-ins, see DESIGN.md)"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; try 'list-experiments'", file=sys.stderr)
+        return 2
+    context = ExperimentContext(_make_config(args))
+    print(EXPERIMENTS[args.experiment](context))
+    return 0
+
+
+def _cmd_build_info(args: argparse.Namespace) -> int:
+    if args.dataset not in DATASET_NAMES:
+        print(f"unknown dataset {args.dataset!r}", file=sys.stderr)
+        return 2
+    if args.variant not in VARIANT_NAMES:
+        print(f"unknown variant {args.variant!r}; known: {VARIANT_NAMES}", file=sys.stderr)
+        return 2
+    config = _make_config(args)
+    objects = dataset_info(args.dataset).generate(config.size_of(args.dataset), seed=config.seed)
+    tree = build_rtree(args.variant, objects, max_entries=config.max_entries)
+    stats = tree_stats(tree)
+    print(format_table([stats.as_row()], title=f"{args.variant} over {args.dataset}"))
+    print(f"average dead space per node: {100 * average_dead_space(tree):.1f}%")
+    for method in ("skyline", "stairline"):
+        clipped = ClippedRTree.wrap(tree, method=method)
+        summary = clipped_dead_space_summary(clipped)
+        print(
+            f"{method:10s}: {100 * summary.clipped_share_of_dead_space:5.1f}% of dead space clipped, "
+            f"{clipped.store.average_clip_points():.1f} clip points/node"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Clipped-bounding-box reproduction toolkit"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list-experiments", help="list available experiments")
+    subparsers.add_parser("datasets", help="list dataset generators")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment and print its tables")
+    run_parser.add_argument("experiment", help="experiment id, e.g. fig11")
+
+    info_parser = subparsers.add_parser("build-info", help="build one index and summarise it")
+    info_parser.add_argument("dataset", help="dataset name, e.g. axo03")
+    info_parser.add_argument("variant", help="R-tree variant, e.g. rstar")
+
+    for sub in (run_parser, info_parser):
+        sub.add_argument("--size", type=int, default=None, help="objects per dataset")
+        sub.add_argument("--queries", type=int, default=None, help="queries per profile")
+        sub.add_argument("--max-entries", type=int, default=None, help="node capacity")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list-experiments": _cmd_list_experiments,
+        "datasets": _cmd_datasets,
+        "run": _cmd_run,
+        "build-info": _cmd_build_info,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""Base class for dataset generators."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.geometry.objects import SpatialObject
+from repro.geometry.rect import Rect
+
+
+class DatasetGenerator:
+    """Deterministic generator of :class:`SpatialObject` collections.
+
+    Subclasses implement :meth:`_generate_rects`; the base class wraps the
+    rectangles into objects with sequential ids.  Every generator is fully
+    determined by its constructor parameters and the ``seed`` passed to
+    :meth:`generate`.
+    """
+
+    #: dimensionality of the generated data
+    dims: int = 2
+    #: short human-readable description used by the bench reports
+    description: str = ""
+
+    def generate(self, size: int, seed: int = 0) -> List[SpatialObject]:
+        """Generate ``size`` objects using ``seed``."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        rng = random.Random(seed)
+        rects = self._generate_rects(size, rng)
+        if len(rects) != size:
+            raise RuntimeError(
+                f"{type(self).__name__} produced {len(rects)} rects, expected {size}"
+            )
+        return [SpatialObject(i, rect) for i, rect in enumerate(rects)]
+
+    def _generate_rects(self, size: int, rng: random.Random) -> Sequence[Rect]:
+        raise NotImplementedError

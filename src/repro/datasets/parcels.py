@@ -1,0 +1,69 @@
+"""``par02`` / ``par03`` stand-ins: boxes with very high size/shape variance.
+
+The benchmark describes these as synthetic boxes "generated with a very
+large variance in size and shape, which makes them challenging to
+approximate".  We draw box volumes from a log-normal distribution spanning
+several orders of magnitude and aspect ratios independently per dimension,
+placing centres with a mixture of uniform background and dense clusters.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+from repro.datasets.base import DatasetGenerator
+from repro.geometry.rect import Rect
+
+
+class ParcelGenerator(DatasetGenerator):
+    """High-variance box generator (the ``par0d`` datasets)."""
+
+    def __init__(
+        self,
+        dims: int = 2,
+        extent: float = 1000.0,
+        volume_sigma: float = 2.0,
+        cluster_fraction: float = 0.5,
+        clusters: int = 16,
+    ):
+        if dims < 2:
+            raise ValueError("ParcelGenerator needs at least 2 dimensions")
+        self.dims = dims
+        self.extent = extent
+        self.volume_sigma = volume_sigma
+        self.cluster_fraction = cluster_fraction
+        self.clusters = clusters
+        self.description = f"high-variance boxes in {dims}d (par0{dims} stand-in)"
+
+    def _generate_rects(self, size: int, rng: random.Random) -> List[Rect]:
+        centers = self._centers(size, rng)
+        base_side = self.extent / (size ** (1.0 / self.dims))
+        rects = []
+        for center in centers:
+            # Log-normal volume, independent log-normal aspect per dimension.
+            scale = math.exp(rng.gauss(0.0, self.volume_sigma))
+            sides = []
+            for _ in range(self.dims):
+                aspect = math.exp(rng.gauss(0.0, 0.8))
+                sides.append(max(1e-6, base_side * scale ** (1.0 / self.dims) * aspect))
+            low = [c - s / 2.0 for c, s in zip(center, sides)]
+            high = [c + s / 2.0 for c, s in zip(center, sides)]
+            rects.append(Rect(low, high))
+        return rects
+
+    def _centers(self, size: int, rng: random.Random) -> List[List[float]]:
+        cluster_centers = [
+            [rng.uniform(0.1 * self.extent, 0.9 * self.extent) for _ in range(self.dims)]
+            for _ in range(self.clusters)
+        ]
+        cluster_spread = self.extent / 20.0
+        centers = []
+        for _ in range(size):
+            if rng.random() < self.cluster_fraction:
+                base = rng.choice(cluster_centers)
+                centers.append([rng.gauss(b, cluster_spread) for b in base])
+            else:
+                centers.append([rng.uniform(0.0, self.extent) for _ in range(self.dims)])
+        return centers

@@ -1,0 +1,47 @@
+"""Named access to the seven paper datasets (plus reference distributions)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.datasets.base import DatasetGenerator
+from repro.datasets.neurites import NeuriteGenerator
+from repro.datasets.parcels import ParcelGenerator
+from repro.datasets.points import PointCloudGenerator
+from repro.datasets.streets import StreetSegmentGenerator
+from repro.datasets.uniform import GaussianClusterGenerator, UniformBoxGenerator
+from repro.geometry.objects import SpatialObject
+
+_FACTORIES: Dict[str, Callable[[], DatasetGenerator]] = {
+    # paper datasets
+    "rea02": StreetSegmentGenerator,
+    "rea03": lambda: PointCloudGenerator(dims=3),
+    "par02": lambda: ParcelGenerator(dims=2),
+    "par03": lambda: ParcelGenerator(dims=3),
+    "axo03": lambda: NeuriteGenerator(kind="axon"),
+    "den03": lambda: NeuriteGenerator(kind="dendrite"),
+    "neu03": lambda: NeuriteGenerator(kind="neurite"),
+    # auxiliary distributions
+    "uniform02": lambda: UniformBoxGenerator(dims=2),
+    "uniform03": lambda: UniformBoxGenerator(dims=3),
+    "cluster02": lambda: GaussianClusterGenerator(dims=2),
+}
+
+#: The seven dataset names used throughout the paper's evaluation.
+DATASET_NAMES = ("par02", "par03", "rea02", "rea03", "axo03", "den03", "neu03")
+
+
+def dataset_info(name: str) -> DatasetGenerator:
+    """Instantiate the generator registered under ``name``."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; known: {sorted(_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+def generate(name: str, size: int, seed: int = 0) -> List[SpatialObject]:
+    """Generate ``size`` objects of the named dataset with ``seed``."""
+    return dataset_info(name).generate(size, seed)

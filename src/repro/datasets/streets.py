@@ -1,0 +1,76 @@
+"""``rea02`` stand-in: street segments of a Californian road network.
+
+Street segments are short, thin, mostly axis-aligned rectangles arranged
+in a jittered grid (city blocks) with occasional long diagonal arterials —
+the structure that makes the real dataset hard to clip ("street segments
+wrap around some of the dead space, particularly in cities with grid
+patterns", §V-C).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+from repro.datasets.base import DatasetGenerator
+from repro.geometry.rect import Rect
+
+
+class StreetSegmentGenerator(DatasetGenerator):
+    """Grid-patterned street-segment rectangles (the ``rea02`` stand-in)."""
+
+    dims = 2
+
+    def __init__(
+        self,
+        extent: float = 10000.0,
+        block_size: float = 100.0,
+        segment_width: float = 1.0,
+        diagonal_fraction: float = 0.1,
+        jitter: float = 0.15,
+    ):
+        self.extent = extent
+        self.block_size = block_size
+        self.segment_width = segment_width
+        self.diagonal_fraction = diagonal_fraction
+        self.jitter = jitter
+        self.description = "grid-patterned street segments (rea02 stand-in)"
+
+    def _generate_rects(self, size: int, rng: random.Random) -> List[Rect]:
+        rects: List[Rect] = []
+        cells = max(1, int(self.extent / self.block_size))
+        for _ in range(size):
+            if rng.random() < self.diagonal_fraction:
+                rects.append(self._diagonal_segment(rng))
+            else:
+                rects.append(self._grid_segment(rng, cells))
+        return rects
+
+    def _grid_segment(self, rng: random.Random, cells: int) -> Rect:
+        # Pick a block corner and run a segment along one axis of the block.
+        bx = rng.randrange(cells) * self.block_size
+        by = rng.randrange(cells) * self.block_size
+        jitter = self.block_size * self.jitter
+        x0 = bx + rng.uniform(-jitter, jitter)
+        y0 = by + rng.uniform(-jitter, jitter)
+        length = self.block_size * rng.uniform(0.3, 1.0)
+        width = self.segment_width * rng.uniform(0.5, 2.0)
+        if rng.random() < 0.5:
+            low = (x0, y0)
+            high = (x0 + length, y0 + width)
+        else:
+            low = (x0, y0)
+            high = (x0 + width, y0 + length)
+        return Rect(low, high)
+
+    def _diagonal_segment(self, rng: random.Random) -> Rect:
+        # Arterial roads cutting diagonally across blocks: their MBB is a
+        # nearly-square box mostly made of dead space.
+        x0 = rng.uniform(0.0, self.extent)
+        y0 = rng.uniform(0.0, self.extent)
+        length = self.block_size * rng.uniform(0.5, 2.0)
+        angle = rng.uniform(0.0, math.pi)
+        dx = abs(math.cos(angle)) * length
+        dy = abs(math.sin(angle)) * length
+        return Rect((x0, y0), (x0 + max(dx, self.segment_width), y0 + max(dy, self.segment_width)))

@@ -1,0 +1,55 @@
+"""Simple reference distributions used by unit tests and ablations."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.datasets.base import DatasetGenerator
+from repro.geometry.rect import Rect
+
+
+class UniformBoxGenerator(DatasetGenerator):
+    """Uniformly placed boxes of a fixed relative size."""
+
+    def __init__(self, dims: int = 2, extent: float = 1000.0, relative_side: float = 0.005):
+        self.dims = dims
+        self.extent = extent
+        self.relative_side = relative_side
+        self.description = f"uniform boxes in {dims}d"
+
+    def _generate_rects(self, size: int, rng: random.Random) -> List[Rect]:
+        side = self.extent * self.relative_side
+        rects = []
+        for _ in range(size):
+            low = [rng.uniform(0.0, self.extent - side) for _ in range(self.dims)]
+            high = [lo + side * rng.uniform(0.2, 1.0) for lo in low]
+            rects.append(Rect(low, high))
+        return rects
+
+
+class GaussianClusterGenerator(DatasetGenerator):
+    """Boxes whose centres follow a Gaussian mixture."""
+
+    def __init__(self, dims: int = 2, extent: float = 1000.0, clusters: int = 8, relative_side: float = 0.004):
+        self.dims = dims
+        self.extent = extent
+        self.clusters = clusters
+        self.relative_side = relative_side
+        self.description = f"gaussian-clustered boxes in {dims}d"
+
+    def _generate_rects(self, size: int, rng: random.Random) -> List[Rect]:
+        centers = [
+            [rng.uniform(0.0, self.extent) for _ in range(self.dims)]
+            for _ in range(self.clusters)
+        ]
+        spread = self.extent / 25.0
+        side = self.extent * self.relative_side
+        rects = []
+        for _ in range(size):
+            base = rng.choice(centers)
+            center = [rng.gauss(b, spread) for b in base]
+            low = [c - side * rng.uniform(0.1, 0.5) for c in center]
+            high = [c + side * rng.uniform(0.1, 0.5) for c in center]
+            rects.append(Rect(low, high))
+        return rects

@@ -1,0 +1,34 @@
+"""Geometric primitives: d-dimensional rectangles, corners, dominance.
+
+The whole library works on axis-aligned hyperrectangles (``Rect``).  A
+spatial *object* is itself represented by its minimum bounding box plus an
+opaque identifier (``SpatialObject``), which is how the paper's benchmark
+datasets are distributed as well.
+"""
+
+from repro.geometry.bitmask import (
+    all_corner_masks,
+    corner_of,
+    flip_mask,
+    mask_bits,
+    mask_from_bits,
+)
+from repro.geometry.dominance import dominates, strictly_inside_corner_region
+from repro.geometry.objects import SpatialObject
+from repro.geometry.rect import Rect, mbb_of_points, mbb_of_rects
+from repro.geometry.union_volume import union_volume
+
+__all__ = [
+    "Rect",
+    "SpatialObject",
+    "mbb_of_points",
+    "mbb_of_rects",
+    "union_volume",
+    "dominates",
+    "strictly_inside_corner_region",
+    "corner_of",
+    "flip_mask",
+    "all_corner_masks",
+    "mask_bits",
+    "mask_from_bits",
+]

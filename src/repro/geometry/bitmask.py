@@ -1,0 +1,51 @@
+"""Corner bitmasks.
+
+A corner of a d-dimensional hyperrectangle is identified by a d-bit mask
+``b``: bit ``i`` set means the corner takes the *maximum* extent in
+dimension ``i``, cleared means the *minimum* extent (paper, §III-A).
+
+Masks are plain Python integers; bit ``i`` corresponds to dimension ``i``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+
+def mask_bits(mask: int, dims: int) -> Tuple[int, ...]:
+    """Return the per-dimension bits of ``mask`` as a tuple of 0/1 ints.
+
+    >>> mask_bits(0b101, 3)
+    (1, 0, 1)
+    """
+    return tuple((mask >> i) & 1 for i in range(dims))
+
+
+def mask_from_bits(bits: Sequence[int]) -> int:
+    """Inverse of :func:`mask_bits`.
+
+    >>> mask_from_bits((1, 0, 1))
+    5
+    """
+    mask = 0
+    for i, bit in enumerate(bits):
+        if bit:
+            mask |= 1 << i
+    return mask
+
+
+def flip_mask(mask: int, dims: int) -> int:
+    """Return ``~mask`` restricted to ``dims`` bits (the opposite corner)."""
+    return (~mask) & ((1 << dims) - 1)
+
+
+def all_corner_masks(dims: int) -> Iterator[int]:
+    """Iterate over all ``2**dims`` corner masks."""
+    return iter(range(1 << dims))
+
+
+def corner_of(low: Sequence[float], high: Sequence[float], mask: int) -> Tuple[float, ...]:
+    """Return the corner of the box ``[low, high]`` selected by ``mask``."""
+    return tuple(
+        high[i] if (mask >> i) & 1 else low[i] for i in range(len(low))
+    )

@@ -1,0 +1,56 @@
+"""Oriented dominance between points (paper, Definition 4).
+
+A point ``p`` *dominates* a distinct point ``q`` with respect to corner
+bitmask ``b`` when ``p`` is at least as close to the corner ``R^b`` as
+``q`` in every dimension independently.  Since the corner maximises the
+dimensions whose bit is set in ``b`` and minimises the others, "closer to
+the corner" means "greater coordinate" on set bits and "smaller
+coordinate" on cleared bits.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def dominates(p: Sequence[float], q: Sequence[float], mask: int) -> bool:
+    """True when ``p`` dominates ``q`` with respect to corner ``mask``.
+
+    Dominance requires ``p`` to be at least as close to the corner in every
+    dimension and strictly closer in at least one (so a point never
+    dominates itself or an identical point).
+    """
+    strictly_better = False
+    for i, (pi, qi) in enumerate(zip(p, q)):
+        if (mask >> i) & 1:
+            if pi < qi:
+                return False
+            if pi > qi:
+                strictly_better = True
+        else:
+            if pi > qi:
+                return False
+            if pi < qi:
+                strictly_better = True
+    return strictly_better
+
+
+def strictly_inside_corner_region(
+    p: Sequence[float], anchor: Sequence[float], mask: int
+) -> bool:
+    """True when ``p`` lies strictly inside the open region clipped by ``anchor``.
+
+    The region clipped by the pair ``<anchor, mask>`` of a bounding box is
+    the box spanned by ``anchor`` and the corner ``R^mask``.  ``p`` is
+    strictly inside it when, in every dimension, ``p`` is strictly closer
+    to the corner than ``anchor`` is.  Boundary contact (a shared face or
+    edge) carries zero volume and therefore does not invalidate a clip.
+    """
+    for i, (pi, ai) in enumerate(zip(p, anchor)):
+        if (mask >> i) & 1:
+            if pi <= ai:
+                return False
+        else:
+            if pi >= ai:
+                return False
+    return True

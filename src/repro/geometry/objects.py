@@ -1,0 +1,41 @@
+"""Spatial objects: a bounding rectangle plus an identifier."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.geometry.rect import Rect
+
+
+class SpatialObject:
+    """A data object stored in a spatial index.
+
+    The index only ever sees the object's minimum bounding rectangle; the
+    ``payload`` is carried through untouched so applications can attach
+    whatever they need (geometry, row id, ...).
+    """
+
+    __slots__ = ("oid", "rect", "payload")
+
+    def __init__(self, oid: int, rect: Rect, payload: Optional[Any] = None):
+        self.oid = int(oid)
+        self.rect = rect
+        self.payload = payload
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the object's bounding rectangle."""
+        return self.rect.dims
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, SpatialObject)
+            and self.oid == other.oid
+            and self.rect == other.rect
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.oid, self.rect))
+
+    def __repr__(self) -> str:
+        return f"SpatialObject(oid={self.oid}, rect={self.rect!r})"

@@ -1,0 +1,11 @@
+"""Spatial joins: Index Nested Loop Join and Synchronised Tree Traversal."""
+
+from repro.join.inlj import index_nested_loop_join
+from repro.join.result import JoinResult
+from repro.join.stt import synchronized_tree_traversal_join
+
+__all__ = [
+    "index_nested_loop_join",
+    "synchronized_tree_traversal_join",
+    "JoinResult",
+]

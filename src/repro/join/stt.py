@@ -1,0 +1,103 @@
+"""Synchronised Tree Traversal (STT) spatial join (Brinkhoff et al. 1993).
+
+Both inputs are indexed.  The join descends both trees simultaneously,
+only following pairs of children whose bounding boxes intersect.  When the
+inputs are :class:`ClippedRTree` instances, the paper's §V strategy is
+applied: a child pair is pruned when either child's clipped bounding box
+proves the other child's MBB lies entirely in dead space.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.geometry.rect import Rect
+from repro.join.result import JoinResult
+from repro.rtree.base import RTreeBase
+from repro.rtree.clipped import ClippedRTree
+from repro.rtree.node import Node
+
+Index = Union[RTreeBase, ClippedRTree]
+
+
+def _unwrap(index: Index) -> Tuple[RTreeBase, Optional[ClippedRTree]]:
+    if isinstance(index, ClippedRTree):
+        return index.tree, index
+    return index, None
+
+
+def _pair_passes(
+    rect_a: Rect,
+    node_a_id: int,
+    clipped_a: Optional[ClippedRTree],
+    rect_b: Rect,
+    node_b_id: int,
+    clipped_b: Optional[ClippedRTree],
+) -> bool:
+    """MBB intersection extended with the CBB dominance tests of §V."""
+    if not rect_a.intersects(rect_b):
+        return False
+    if clipped_a is not None and not clipped_a.node_intersects(node_a_id, rect_a, rect_b):
+        return False
+    if clipped_b is not None and not clipped_b.node_intersects(node_b_id, rect_b, rect_a):
+        return False
+    return True
+
+
+def synchronized_tree_traversal_join(
+    left: Index, right: Index, collect_pairs: bool = True
+) -> JoinResult:
+    """Join every pair of intersecting objects from the two indexes."""
+    left_tree, left_clipped = _unwrap(left)
+    right_tree, right_clipped = _unwrap(right)
+    result = JoinResult()
+    pair_count = 0
+
+    def visit(node_a: Node, stats, is_left: bool) -> None:
+        if node_a.is_leaf:
+            stats.record_leaf(contributed=True)
+        else:
+            stats.record_internal()
+
+    def join_nodes(node_l: Node, node_r: Node) -> None:
+        nonlocal pair_count
+        if node_l.is_leaf and node_r.is_leaf:
+            for e_l in node_l.entries:
+                for e_r in node_r.entries:
+                    if e_l.rect.intersects(e_r.rect):
+                        if collect_pairs:
+                            result.pairs.append((e_l.child, e_r.child))
+                        else:
+                            pair_count += 1
+            return
+        if not node_l.is_leaf and (node_r.is_leaf or node_l.level >= node_r.level):
+            # Descend the left (deeper) tree.
+            for entry in node_l.entries:
+                if _pair_passes(
+                    entry.rect, entry.child, left_clipped,
+                    node_r.mbb(), node_r.node_id, right_clipped,
+                ):
+                    child = left_tree.node(entry.child)
+                    visit(child, result.outer_stats, True)
+                    join_nodes(child, node_r)
+            return
+        for entry in node_r.entries:
+            if _pair_passes(
+                node_l.mbb(), node_l.node_id, left_clipped,
+                entry.rect, entry.child, right_clipped,
+            ):
+                child = right_tree.node(entry.child)
+                visit(child, result.inner_stats, False)
+                join_nodes(node_l, child)
+
+    root_l, root_r = left_tree.root, right_tree.root
+    visit(root_l, result.outer_stats, True)
+    visit(root_r, result.inner_stats, False)
+    if _pair_passes(
+        root_l.mbb(), root_l.node_id, left_clipped,
+        root_r.mbb(), root_r.node_id, right_clipped,
+    ):
+        join_nodes(root_l, root_r)
+    if not collect_pairs:
+        result.inner_stats.bump("uncollected_pairs", pair_count)
+    return result

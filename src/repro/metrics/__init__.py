@@ -1,0 +1,31 @@
+"""Measurements used throughout the paper's evaluation.
+
+* dead space per node (Figure 1b, 8, 9, 10),
+* overlap between siblings (Figure 1a),
+* I/O optimality of query processing (Figure 1c),
+* storage breakdown of clipped trees (Figure 13),
+* general tree statistics used by the reports.
+"""
+
+from repro.metrics.dead_space import (
+    average_dead_space,
+    clipped_dead_space_summary,
+    node_dead_space,
+)
+from repro.metrics.io_optimality import io_optimality
+from repro.metrics.node_stats import TreeStats, tree_stats
+from repro.metrics.overlap import average_overlap, multi_covered_volume, node_overlap
+from repro.metrics.storage_breakdown import storage_breakdown_percent
+
+__all__ = [
+    "node_dead_space",
+    "average_dead_space",
+    "clipped_dead_space_summary",
+    "node_overlap",
+    "average_overlap",
+    "multi_covered_volume",
+    "io_optimality",
+    "tree_stats",
+    "TreeStats",
+    "storage_breakdown_percent",
+]

@@ -1,0 +1,85 @@
+"""Dead-space measurements (Definition 1; Figures 1b, 8, 9, 10)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.geometry.union_volume import dead_space_fraction
+from repro.rtree.base import RTreeBase
+from repro.rtree.clipped import ClippedRTree
+from repro.rtree.node import Node
+
+
+def node_dead_space(node: Node) -> float:
+    """Fraction of the node MBB's volume not covered by any child rectangle."""
+    if not node.entries:
+        return 0.0
+    return dead_space_fraction(node.mbb(), node.child_rects())
+
+
+def average_dead_space(
+    tree: RTreeBase, leaves_only: bool = False, internal_only: bool = False
+) -> float:
+    """Average dead-space fraction over the selected nodes of ``tree``."""
+    if leaves_only and internal_only:
+        raise ValueError("choose at most one of leaves_only / internal_only")
+    if leaves_only:
+        nodes: Iterable[Node] = tree.leaves()
+    elif internal_only:
+        nodes = tree.internal_nodes()
+    else:
+        nodes = tree.nodes()
+    fractions = [node_dead_space(node) for node in nodes if node.entries]
+    if not fractions:
+        return 0.0
+    return sum(fractions) / len(fractions)
+
+
+@dataclass
+class ClippedDeadSpaceSummary:
+    """Average dead space of a clipped tree, split into clipped vs remaining.
+
+    All three values are fractions of node volume averaged over nodes, so
+    ``dead_space == clipped + remaining`` (up to floating-point error).
+    This is exactly the quantity stacked in Figure 10.
+    """
+
+    dead_space: float
+    clipped: float
+    remaining: float
+
+    @property
+    def clipped_share_of_dead_space(self) -> float:
+        """Fraction of the dead space that the clip points eliminate."""
+        if self.dead_space <= 0.0:
+            return 0.0
+        return self.clipped / self.dead_space
+
+
+def clipped_dead_space_summary(
+    clipped_tree: ClippedRTree, leaves_only: bool = False
+) -> ClippedDeadSpaceSummary:
+    """Per-node average of total dead space and the part clipped away."""
+    tree = clipped_tree.tree
+    nodes = tree.leaves() if leaves_only else tree.nodes()
+    total = 0.0
+    clipped = 0.0
+    count = 0
+    for node in nodes:
+        if not node.entries:
+            continue
+        volume = node.mbb().volume()
+        dead = node_dead_space(node)
+        if volume <= 0.0:
+            clip_fraction = 0.0
+        else:
+            clip_fraction = clipped_tree.clipped_volume_of(node) / volume
+        total += dead
+        clipped += min(clip_fraction, dead)
+        count += 1
+    if count == 0:
+        return ClippedDeadSpaceSummary(0.0, 0.0, 0.0)
+    total /= count
+    clipped /= count
+    return ClippedDeadSpaceSummary(total, clipped, max(0.0, total - clipped))

@@ -1,0 +1,20 @@
+"""I/O optimality: how many leaf accesses actually contribute results (Fig. 1c)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from repro.geometry.rect import Rect
+from repro.query.range_query import execute_workload
+from repro.rtree.base import RTreeBase
+from repro.rtree.clipped import ClippedRTree
+
+
+def io_optimality(index: Union[RTreeBase, ClippedRTree], queries: Iterable[Rect]) -> float:
+    """Fraction of leaf accesses containing at least one result object.
+
+    1.0 means every leaf read was useful ("optimal"); the complement is
+    the fraction of reads that only touched dead space.
+    """
+    result = execute_workload(index, queries)
+    return result.io_optimality

@@ -1,0 +1,59 @@
+"""General tree statistics used in bench reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rtree.base import RTreeBase
+
+
+@dataclass
+class TreeStats:
+    """Structural summary of one R-tree."""
+
+    variant: str
+    size: int
+    height: int
+    node_count: int
+    leaf_count: int
+    internal_count: int
+    avg_leaf_fill: float
+    avg_internal_fill: float
+
+    def as_row(self) -> dict:
+        """Dict representation for tabular reports."""
+        return {
+            "variant": self.variant,
+            "objects": self.size,
+            "height": self.height,
+            "nodes": self.node_count,
+            "leaves": self.leaf_count,
+            "avg_leaf_fill": round(self.avg_leaf_fill, 3),
+            "avg_internal_fill": round(self.avg_internal_fill, 3),
+        }
+
+
+def tree_stats(tree: RTreeBase) -> TreeStats:
+    """Compute :class:`TreeStats` for ``tree``."""
+    leaves = list(tree.leaves())
+    internals = list(tree.internal_nodes())
+    leaf_fill = (
+        sum(len(n.entries) for n in leaves) / (len(leaves) * tree.max_entries)
+        if leaves
+        else 0.0
+    )
+    internal_fill = (
+        sum(len(n.entries) for n in internals) / (len(internals) * tree.max_entries)
+        if internals
+        else 0.0
+    )
+    return TreeStats(
+        variant=tree.variant_name,
+        size=len(tree),
+        height=tree.height,
+        node_count=tree.node_count(),
+        leaf_count=len(leaves),
+        internal_count=len(internals),
+        avg_leaf_fill=leaf_fill,
+        avg_internal_fill=internal_fill,
+    )

@@ -1,0 +1,84 @@
+"""Overlap measurements (Figure 1a).
+
+The overlap of a node is the fraction of its MBB's volume covered by two
+or more of its children.  Like the union volume, this is computed exactly
+with coordinate compression.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.geometry.rect import Rect
+from repro.rtree.base import RTreeBase
+from repro.rtree.node import Node
+
+
+def multi_covered_volume(rects: Iterable[Rect], within: Optional[Rect] = None) -> float:
+    """Volume covered by at least two of ``rects`` (optionally clipped)."""
+    clipped: List[Rect] = []
+    for rect in rects:
+        if within is not None:
+            inter = within.intersection(rect)
+            if inter is None:
+                continue
+            clipped.append(inter)
+        else:
+            clipped.append(rect)
+    if len(clipped) < 2:
+        return 0.0
+
+    dims = clipped[0].dims
+    lows = np.array([r.low for r in clipped], dtype=float)
+    highs = np.array([r.high for r in clipped], dtype=float)
+    cuts = [np.unique(np.concatenate([lows[:, i], highs[:, i]])) for i in range(dims)]
+    cell_sizes = [np.diff(c) for c in cuts]
+    if any(cs.size == 0 for cs in cell_sizes):
+        return 0.0
+
+    shape = tuple(cs.size for cs in cell_sizes)
+    coverage = np.zeros(shape, dtype=np.int32)
+    for low, high in zip(lows, highs):
+        slices = []
+        degenerate = False
+        for i in range(dims):
+            start = int(np.searchsorted(cuts[i], low[i]))
+            stop = int(np.searchsorted(cuts[i], high[i]))
+            if stop <= start:
+                degenerate = True
+                break
+            slices.append(slice(start, stop))
+        if degenerate:
+            continue
+        coverage[tuple(slices)] += 1
+
+    volume_grid = cell_sizes[0]
+    for i in range(1, dims):
+        volume_grid = np.multiply.outer(volume_grid, cell_sizes[i])
+    return float((volume_grid * (coverage >= 2)).sum())
+
+
+def node_overlap(node: Node) -> float:
+    """Fraction of the node MBB's volume covered by two or more children."""
+    if len(node.entries) < 2:
+        return 0.0
+    mbb = node.mbb()
+    volume = mbb.volume()
+    if volume <= 0.0:
+        return 0.0
+    return multi_covered_volume(node.child_rects(), within=mbb) / volume
+
+
+def average_overlap(tree: RTreeBase, internal_only: bool = True) -> float:
+    """Average per-node overlap, by default over directory nodes only.
+
+    Figure 1a reports overlap "averaged over all internal nodes"; pass
+    ``internal_only=False`` to include leaves.
+    """
+    nodes = tree.internal_nodes() if internal_only else tree.nodes()
+    fractions = [node_overlap(node) for node in nodes if node.entries]
+    if not fractions:
+        return 0.0
+    return sum(fractions) / len(fractions)

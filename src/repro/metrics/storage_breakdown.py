@@ -1,0 +1,28 @@
+"""Storage breakdown of a clipped R-tree (Figure 13)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.rtree.clipped import ClippedRTree
+from repro.storage.page import DEFAULT_PAGE_LAYOUT, PageLayout
+
+
+def storage_breakdown_percent(
+    clipped_tree: ClippedRTree, layout: PageLayout = DEFAULT_PAGE_LAYOUT
+) -> Dict[str, float]:
+    """Percentage of total bytes in directory nodes, leaf nodes, clip points.
+
+    Also reports ``avg_clip_points`` (per clipped node), matching the
+    annotation atop each bar of Figure 13.
+    """
+    breakdown = clipped_tree.storage_breakdown(layout)
+    total = sum(breakdown.values())
+    if total == 0:
+        return {"dir_nodes": 0.0, "leaf_nodes": 0.0, "clip_points": 0.0, "avg_clip_points": 0.0}
+    return {
+        "dir_nodes": 100.0 * breakdown["dir_nodes"] / total,
+        "leaf_nodes": 100.0 * breakdown["leaf_nodes"] / total,
+        "clip_points": 100.0 * breakdown["clip_points"] / total,
+        "avg_clip_points": clipped_tree.store.average_clip_points(),
+    }

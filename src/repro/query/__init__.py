@@ -1,0 +1,15 @@
+"""Query workloads and execution helpers."""
+
+from repro.query.knn import knn_query
+from repro.query.range_query import brute_force_range, execute_workload, WorkloadResult
+from repro.query.workload import QueryProfile, RangeQueryWorkload, STANDARD_PROFILES
+
+__all__ = [
+    "RangeQueryWorkload",
+    "QueryProfile",
+    "STANDARD_PROFILES",
+    "execute_workload",
+    "WorkloadResult",
+    "brute_force_range",
+    "knn_query",
+]

@@ -1,0 +1,55 @@
+"""k-nearest-neighbour search over any R-tree variant.
+
+Not part of the paper's evaluation, but a standard capability of the
+substrate (best-first traversal with MinDist pruning); provided so the
+library is usable as a general spatial index.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry.objects import SpatialObject
+from repro.rtree.base import RTreeBase
+from repro.storage.stats import IOStats
+
+
+def knn_query(
+    tree: RTreeBase,
+    point: Sequence[float],
+    k: int,
+    stats: Optional[IOStats] = None,
+) -> List[Tuple[float, SpatialObject]]:
+    """The ``k`` objects nearest to ``point`` (squared distance, object) pairs.
+
+    Uses the classic best-first search: a priority queue ordered by MinDist
+    holding both nodes and objects; an object popped from the queue is
+    guaranteed to be the next nearest.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    counter = itertools.count()
+    heap: List[Tuple[float, int, object, bool]] = []
+    heapq.heappush(heap, (0.0, next(counter), tree.root_id, True))
+    results: List[Tuple[float, SpatialObject]] = []
+
+    while heap and len(results) < k:
+        dist, _, item, is_node = heapq.heappop(heap)
+        if not is_node:
+            results.append((dist, item))
+            continue
+        node = tree.node(item)
+        if stats is not None:
+            if node.is_leaf:
+                stats.record_leaf()
+            else:
+                stats.record_internal()
+        for entry in node.entries:
+            entry_dist = entry.rect.min_distance_sq(point)
+            if node.is_leaf:
+                heapq.heappush(heap, (entry_dist, next(counter), entry.child, False))
+            else:
+                heapq.heappush(heap, (entry_dist, next(counter), entry.child, True))
+    return results

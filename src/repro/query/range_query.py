@@ -1,0 +1,60 @@
+"""Range-query execution helpers with I/O accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Protocol, Sequence
+
+from repro.geometry.objects import SpatialObject
+from repro.geometry.rect import Rect
+from repro.storage.stats import IOStats
+
+
+class SupportsRangeQuery(Protocol):
+    """Anything with a ``range_query(rect, stats=...)`` method."""
+
+    def range_query(self, rect: Rect, stats: IOStats = ...) -> List[SpatialObject]:
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class WorkloadResult:
+    """Aggregate result of running a batch of range queries."""
+
+    queries: int
+    total_results: int
+    stats: IOStats
+
+    @property
+    def avg_results(self) -> float:
+        """Average number of result objects per query."""
+        return self.total_results / self.queries if self.queries else 0.0
+
+    @property
+    def avg_leaf_accesses(self) -> float:
+        """Average leaf accesses per query — the paper's I/O metric."""
+        return self.stats.leaf_accesses / self.queries if self.queries else 0.0
+
+    @property
+    def io_optimality(self) -> float:
+        """Fraction of leaf accesses that contributed at least one result."""
+        if self.stats.leaf_accesses == 0:
+            return 1.0
+        return self.stats.contributing_leaf_accesses / self.stats.leaf_accesses
+
+
+def execute_workload(index: SupportsRangeQuery, queries: Iterable[Rect]) -> WorkloadResult:
+    """Run every query against ``index`` and accumulate I/O statistics."""
+    stats = IOStats()
+    total_results = 0
+    count = 0
+    for query in queries:
+        results = index.range_query(query, stats=stats)
+        total_results += len(results)
+        count += 1
+    return WorkloadResult(queries=count, total_results=total_results, stats=stats)
+
+
+def brute_force_range(objects: Sequence[SpatialObject], rect: Rect) -> List[SpatialObject]:
+    """Reference implementation used by tests: linear scan."""
+    return [obj for obj in objects if obj.rect.intersects(rect)]

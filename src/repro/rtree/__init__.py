@@ -1,0 +1,46 @@
+"""R-tree variants and the clipped-R-tree plugin.
+
+Four disk-based R-tree variants are provided, mirroring the paper's
+experimental substrate:
+
+* :class:`~repro.rtree.quadratic.QuadraticRTree` — Guttman's original
+  R-tree with quadratic split (``"quadratic"`` / ``"qr"``).
+* :class:`~repro.rtree.hilbert.HilbertRTree` — Hilbert-curve bulk-loaded
+  R-tree (``"hilbert"`` / ``"hr"``).
+* :class:`~repro.rtree.rstar.RStarTree` — the R*-tree (``"rstar"`` / ``"r*"``).
+* :class:`~repro.rtree.rrstar.RRStarTree` — the revised R*-tree
+  (``"rrstar"`` / ``"rr*"``).
+
+:class:`~repro.rtree.clipped.ClippedRTree` wraps any of them with the
+clipped-bounding-box plugin of the paper.
+"""
+
+from repro.rtree.base import DeleteResult, InsertResult, RTreeBase
+from repro.rtree.clipped import ClippedRTree, ReclipCause, UpdateReport
+from repro.rtree.entry import Entry
+from repro.rtree.hilbert import HilbertRTree
+from repro.rtree.node import Node
+from repro.rtree.quadratic import QuadraticRTree
+from repro.rtree.registry import VARIANT_NAMES, build_rtree, rtree_class
+from repro.rtree.rrstar import RRStarTree
+from repro.rtree.rstar import RStarTree
+from repro.rtree.str_bulk import str_bulk_load
+
+__all__ = [
+    "Entry",
+    "Node",
+    "RTreeBase",
+    "InsertResult",
+    "DeleteResult",
+    "QuadraticRTree",
+    "HilbertRTree",
+    "RStarTree",
+    "RRStarTree",
+    "ClippedRTree",
+    "ReclipCause",
+    "UpdateReport",
+    "build_rtree",
+    "rtree_class",
+    "VARIANT_NAMES",
+    "str_bulk_load",
+]

@@ -1,0 +1,32 @@
+"""R-tree node entries."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.geometry.objects import SpatialObject
+from repro.geometry.rect import Rect
+
+
+class Entry:
+    """One slot of an R-tree node.
+
+    In a directory node ``child`` is the integer id of the child node and
+    ``rect`` that child's MBB; in a leaf node ``child`` is the indexed
+    :class:`~repro.geometry.objects.SpatialObject` and ``rect`` its
+    bounding rectangle.
+    """
+
+    __slots__ = ("rect", "child")
+
+    def __init__(self, rect: Rect, child: Union[int, SpatialObject]):
+        self.rect = rect
+        self.child = child
+
+    @property
+    def is_node_pointer(self) -> bool:
+        """True when this entry points at a child node rather than an object."""
+        return isinstance(self.child, int)
+
+    def __repr__(self) -> str:
+        return f"Entry(rect={self.rect!r}, child={self.child!r})"

@@ -1,0 +1,141 @@
+"""d-dimensional Hilbert curve indexing.
+
+Implements Skilling's transpose-based algorithm ("Programming the Hilbert
+curve", AIP 2004), which works for any dimensionality and bit depth.  The
+Hilbert R-tree only needs the forward mapping (coordinates -> curve
+position); the inverse is provided for completeness and testing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.geometry.rect import Rect
+
+
+def hilbert_index(coords: Sequence[int], bits: int) -> int:
+    """Position of the integer point ``coords`` along the Hilbert curve.
+
+    Every coordinate must lie in ``[0, 2**bits)``.  The result lies in
+    ``[0, 2**(bits * d))`` and neighbouring curve positions are
+    neighbouring grid cells.
+    """
+    dims = len(coords)
+    x = _axes_to_transpose(list(coords), bits)
+    return _interleave(x, bits, dims)
+
+
+def hilbert_point(index: int, bits: int, dims: int) -> Tuple[int, ...]:
+    """Inverse of :func:`hilbert_index`."""
+    x = _deinterleave(index, bits, dims)
+    return tuple(_transpose_to_axes(x, bits))
+
+
+def _axes_to_transpose(x: List[int], bits: int) -> List[int]:
+    dims = len(x)
+    max_bit = 1 << (bits - 1)
+
+    # Inverse undo of the excess work in TransposeToAxes.
+    q = max_bit
+    while q > 1:
+        p = q - 1
+        for i in range(dims):
+            if x[i] & q:
+                x[0] ^= p
+            else:
+                t = (x[0] ^ x[i]) & p
+                x[0] ^= t
+                x[i] ^= t
+        q >>= 1
+
+    # Gray encode.
+    for i in range(1, dims):
+        x[i] ^= x[i - 1]
+    t = 0
+    q = max_bit
+    while q > 1:
+        if x[dims - 1] & q:
+            t ^= q - 1
+        q >>= 1
+    for i in range(dims):
+        x[i] ^= t
+    return x
+
+
+def _transpose_to_axes(x: List[int], bits: int) -> List[int]:
+    dims = len(x)
+    max_bit = 1 << (bits - 1)
+
+    # Gray decode.
+    t = x[dims - 1] >> 1
+    for i in range(dims - 1, 0, -1):
+        x[i] ^= x[i - 1]
+    x[0] ^= t
+
+    # Undo excess work.
+    q = 2
+    while q != max_bit << 1:
+        p = q - 1
+        for i in range(dims - 1, -1, -1):
+            if x[i] & q:
+                x[0] ^= p
+            else:
+                t = (x[0] ^ x[i]) & p
+                x[0] ^= t
+                x[i] ^= t
+        q <<= 1
+    return x
+
+
+def _interleave(x: Sequence[int], bits: int, dims: int) -> int:
+    value = 0
+    for bit in range(bits - 1, -1, -1):
+        for i in range(dims):
+            value = (value << 1) | ((x[i] >> bit) & 1)
+    return value
+
+
+def _deinterleave(value: int, bits: int, dims: int) -> List[int]:
+    x = [0] * dims
+    position = bits * dims - 1
+    for bit in range(bits - 1, -1, -1):
+        for i in range(dims):
+            x[i] = (x[i] << 1) | ((value >> position) & 1)
+            position -= 1
+    return x
+
+
+class HilbertMapper:
+    """Maps continuous points inside a reference box to Hilbert positions.
+
+    Points outside the reference box are clamped to it, so the mapper stays
+    usable when objects are inserted after bulk loading.
+    """
+
+    def __init__(self, space: Rect, bits: int = 16):
+        if bits < 1:
+            raise ValueError("bits must be positive")
+        self.space = space
+        self.bits = bits
+        self._cells = (1 << bits) - 1
+
+    def grid_coords(self, point: Sequence[float]) -> Tuple[int, ...]:
+        """Clamp + quantise a continuous point to the integer grid."""
+        coords = []
+        for value, low, high in zip(point, self.space.low, self.space.high):
+            extent = high - low
+            if extent <= 0:
+                coords.append(0)
+                continue
+            ratio = (value - low) / extent
+            ratio = min(1.0, max(0.0, ratio))
+            coords.append(int(round(ratio * self._cells)))
+        return tuple(coords)
+
+    def index_of_point(self, point: Sequence[float]) -> int:
+        """Hilbert position of a continuous point."""
+        return hilbert_index(self.grid_coords(point), self.bits)
+
+    def index_of_rect(self, rect: Rect) -> int:
+        """Hilbert position of a rectangle (its centre, as in the HR-tree)."""
+        return self.index_of_point(rect.center)

@@ -1,0 +1,101 @@
+"""Guttman's original R-tree with the quadratic split algorithm (QR-tree)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.geometry.rect import Rect
+from repro.rtree.base import RTreeBase
+from repro.rtree.entry import Entry
+from repro.rtree.node import Node
+
+
+class QuadraticRTree(RTreeBase):
+    """The classic R-tree (Guttman, SIGMOD 1984), quadratic split variant.
+
+    * ChooseLeaf descends into the child needing the least area enlargement
+      (ties broken by smaller area).
+    * Node splits use PickSeeds / PickNext with the usual minimum-fill
+      safeguard.
+    """
+
+    variant_name = "quadratic"
+
+    def _choose_subtree(self, node: Node, rect: Rect) -> int:
+        best_index = 0
+        best_enlargement = float("inf")
+        best_area = float("inf")
+        for i, entry in enumerate(node.entries):
+            enlargement = entry.rect.enlargement(rect)
+            area = entry.rect.volume()
+            if enlargement < best_enlargement or (
+                enlargement == best_enlargement and area < best_area
+            ):
+                best_index = i
+                best_enlargement = enlargement
+                best_area = area
+        return best_index
+
+    def _split(self, node: Node) -> Tuple[List[Entry], List[Entry]]:
+        entries = list(node.entries)
+        seed1, seed2 = self._pick_seeds(entries)
+        group1 = [entries[seed1]]
+        group2 = [entries[seed2]]
+        rect1 = group1[0].rect
+        rect2 = group2[0].rect
+        remaining = [e for i, e in enumerate(entries) if i not in (seed1, seed2)]
+
+        while remaining:
+            # Minimum-fill safeguard: if one group must take everything left.
+            if len(group1) + len(remaining) == self.min_entries:
+                group1.extend(remaining)
+                break
+            if len(group2) + len(remaining) == self.min_entries:
+                group2.extend(remaining)
+                break
+
+            index = self._pick_next(remaining, rect1, rect2)
+            entry = remaining.pop(index)
+            d1 = rect1.enlargement(entry.rect)
+            d2 = rect2.enlargement(entry.rect)
+            if d1 < d2 or (
+                d1 == d2
+                and (
+                    rect1.volume() < rect2.volume()
+                    or (rect1.volume() == rect2.volume() and len(group1) <= len(group2))
+                )
+            ):
+                group1.append(entry)
+                rect1 = rect1.union(entry.rect)
+            else:
+                group2.append(entry)
+                rect2 = rect2.union(entry.rect)
+        return group1, group2
+
+    @staticmethod
+    def _pick_seeds(entries: List[Entry]) -> Tuple[int, int]:
+        """The pair of entries wasting the most area if grouped together."""
+        worst_pair = (0, 1)
+        worst_waste = float("-inf")
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                union = entries[i].rect.union(entries[j].rect)
+                waste = union.volume() - entries[i].rect.volume() - entries[j].rect.volume()
+                if waste > worst_waste:
+                    worst_waste = waste
+                    worst_pair = (i, j)
+        return worst_pair
+
+    @staticmethod
+    def _pick_next(remaining: List[Entry], rect1: Rect, rect2: Rect) -> int:
+        """The entry with the strongest preference for one of the groups."""
+        best_index = 0
+        best_difference = -1.0
+        for i, entry in enumerate(remaining):
+            d1 = rect1.enlargement(entry.rect)
+            d2 = rect2.enlargement(entry.rect)
+            difference = abs(d1 - d2)
+            if difference > best_difference:
+                best_difference = difference
+                best_index = i
+        return best_index

@@ -1,0 +1,96 @@
+"""Build helpers: construct any R-tree variant by name."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Type
+
+from repro.geometry.objects import SpatialObject
+from repro.rtree.base import RTreeBase
+from repro.rtree.hilbert import HilbertRTree
+from repro.rtree.quadratic import QuadraticRTree
+from repro.rtree.rrstar import RRStarTree
+from repro.rtree.rstar import RStarTree
+from repro.rtree.str_bulk import str_bulk_load
+from repro.storage.page import DEFAULT_PAGE_LAYOUT, PageLayout
+
+_ALIASES: Dict[str, str] = {
+    "qr": "quadratic",
+    "qrtree": "quadratic",
+    "quadratic": "quadratic",
+    "guttman": "quadratic",
+    "hr": "hilbert",
+    "hrtree": "hilbert",
+    "hilbert": "hilbert",
+    "r*": "rstar",
+    "rstar": "rstar",
+    "rr*": "rrstar",
+    "rrstar": "rrstar",
+    "str": "str",
+}
+
+_CLASSES: Dict[str, Type[RTreeBase]] = {
+    "quadratic": QuadraticRTree,
+    "hilbert": HilbertRTree,
+    "rstar": RStarTree,
+    "rrstar": RRStarTree,
+}
+
+#: Canonical variant names, in the order the paper lists them.
+VARIANT_NAMES = ("quadratic", "hilbert", "rstar", "rrstar")
+
+#: Display labels matching the paper's figures.
+VARIANT_LABELS = {
+    "quadratic": "QR-tree",
+    "hilbert": "HR-tree",
+    "rstar": "R*-tree",
+    "rrstar": "RR*-tree",
+}
+
+
+def canonical_variant(name: str) -> str:
+    """Resolve an alias (``"qr"``, ``"r*"``, ...) to its canonical name."""
+    key = name.strip().lower().replace("-", "").replace("_", "")
+    if key not in _ALIASES:
+        raise ValueError(f"unknown R-tree variant {name!r}; known: {sorted(set(_ALIASES))}")
+    return _ALIASES[key]
+
+
+def rtree_class(name: str) -> Type[RTreeBase]:
+    """The class implementing variant ``name`` (STR has no dedicated class)."""
+    canonical = canonical_variant(name)
+    if canonical == "str":
+        return QuadraticRTree
+    return _CLASSES[canonical]
+
+
+def build_rtree(
+    name: str,
+    objects: Sequence[SpatialObject],
+    max_entries: Optional[int] = None,
+    min_entries: Optional[int] = None,
+    page_layout: PageLayout = DEFAULT_PAGE_LAYOUT,
+) -> RTreeBase:
+    """Build an R-tree of variant ``name`` over ``objects``.
+
+    ``max_entries`` defaults to the fan-out implied by ``page_layout`` for
+    the objects' dimensionality, as the benchmark of [33] does.  The
+    Hilbert and STR variants bulk load; the others insert one by one.
+    """
+    if not objects:
+        raise ValueError("cannot build an index over an empty object collection")
+    canonical = canonical_variant(name)
+    dims = objects[0].dims
+    if max_entries is None:
+        max_entries = page_layout.max_entries(dims)
+
+    if canonical == "hilbert":
+        return HilbertRTree.bulk_load(
+            list(objects), max_entries=max_entries, min_entries=min_entries
+        )
+    if canonical == "str":
+        return str_bulk_load(list(objects), max_entries=max_entries, min_entries=min_entries)
+
+    tree = _CLASSES[canonical](dims, max_entries=max_entries, min_entries=min_entries)
+    for obj in objects:
+        tree.insert(obj)
+    return tree

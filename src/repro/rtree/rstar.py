@@ -1,0 +1,167 @@
+"""The R*-tree (Beckmann, Kriegel, Schneider, Seeger — SIGMOD 1990)."""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.geometry.rect import Rect, mbb_of_rects
+from repro.rtree.base import InsertResult, RTreeBase
+from repro.rtree.entry import Entry
+from repro.rtree.node import Node
+
+
+class RStarTree(RTreeBase):
+    """R*-tree: optimised ChooseSubtree, topological split, forced reinsertion.
+
+    * ChooseSubtree minimises *overlap* enlargement when the children are
+      leaves, area enlargement otherwise (ties by area enlargement / area).
+    * On the first overflow of a level per insertion, the ``reinsert_fraction``
+      entries farthest from the node centre are removed and re-inserted.
+    * The split chooses the axis with the minimum margin sum over all
+      distributions and the distribution with minimal overlap (ties by area).
+    """
+
+    variant_name = "rstar"
+
+    #: fraction of entries removed on forced reinsertion (paper: 30 %)
+    reinsert_fraction = 0.3
+
+    def __init__(self, dims: int, max_entries: int = 50, min_entries=None):
+        super().__init__(dims, max_entries, min_entries)
+        self._reinserted_levels: Set[int] = set()
+
+    def _begin_insert(self) -> None:
+        self._reinserted_levels = set()
+
+    # ------------------------------------------------------------------
+    # ChooseSubtree
+    # ------------------------------------------------------------------
+
+    def _choose_subtree(self, node: Node, rect: Rect) -> int:
+        if node.level == 1:
+            return self._choose_least_overlap_enlargement(node, rect)
+        return self._choose_least_area_enlargement(node, rect)
+
+    @staticmethod
+    def _choose_least_area_enlargement(node: Node, rect: Rect) -> int:
+        best_index = 0
+        best_key = (float("inf"), float("inf"))
+        for i, entry in enumerate(node.entries):
+            key = (entry.rect.enlargement(rect), entry.rect.volume())
+            if key < best_key:
+                best_key = key
+                best_index = i
+        return best_index
+
+    def _choose_least_overlap_enlargement(self, node: Node, rect: Rect) -> int:
+        best_index = 0
+        best_key = (float("inf"), float("inf"), float("inf"))
+        rects = [entry.rect for entry in node.entries]
+        for i, entry in enumerate(node.entries):
+            enlarged = entry.rect.union(rect)
+            overlap_delta = 0.0
+            for j, other in enumerate(rects):
+                if i == j:
+                    continue
+                overlap_delta += enlarged.intersection_volume(other)
+                overlap_delta -= entry.rect.intersection_volume(other)
+            key = (overlap_delta, entry.rect.enlargement(rect), entry.rect.volume())
+            if key < best_key:
+                best_key = key
+                best_index = i
+        return best_index
+
+    # ------------------------------------------------------------------
+    # Overflow treatment: forced reinsertion, then split
+    # ------------------------------------------------------------------
+
+    def _handle_overflow(self, node: Node, ancestor_path: List[int], result: InsertResult) -> None:
+        is_root = node.node_id == self._root_id
+        if not is_root and node.level not in self._reinserted_levels:
+            self._reinserted_levels.add(node.level)
+            self._forced_reinsert(node, ancestor_path, result)
+        else:
+            self._split_node(node, ancestor_path, result)
+
+    def _forced_reinsert(self, node: Node, ancestor_path: List[int], result: InsertResult) -> None:
+        count = max(1, int(round(self.reinsert_fraction * len(node.entries))))
+        center = node.mbb().center
+        ordered = sorted(
+            node.entries,
+            key=lambda e: sum((c - p) ** 2 for c, p in zip(e.rect.center, center)),
+        )
+        keep, removed = ordered[:-count], ordered[-count:]
+        node.entries = keep
+        result.reinserted_entries += len(removed)
+
+        # Tighten the ancestors before re-inserting (close reinsert).
+        self._refresh_path(ancestor_path + [node.node_id], result)
+        removed.sort(
+            key=lambda e: sum((c - p) ** 2 for c, p in zip(e.rect.center, center))
+        )
+        for entry in removed:
+            self._insert_entry(entry, node.level, result)
+
+    def _refresh_path(self, path: List[int], result: InsertResult) -> None:
+        for depth in range(len(path) - 1, 0, -1):
+            node = self._nodes.get(path[depth])
+            parent = self._nodes.get(path[depth - 1])
+            if node is None or parent is None:
+                continue
+            if self._refresh_parent_entry(parent, node):
+                result.mbb_changed_node_ids.add(node.node_id)
+
+    # ------------------------------------------------------------------
+    # R*-split
+    # ------------------------------------------------------------------
+
+    def _split(self, node: Node) -> Tuple[List[Entry], List[Entry]]:
+        entries = list(node.entries)
+        axis = self._choose_split_axis(entries)
+        return self._choose_split_index(entries, axis)
+
+    def _distributions(self, ordered: List[Entry]):
+        """All legal (group1, group2) prefix/suffix distributions."""
+        total = len(ordered)
+        for split_at in range(self.min_entries, total - self.min_entries + 1):
+            yield ordered[:split_at], ordered[split_at:]
+
+    def _choose_split_axis(self, entries: List[Entry]) -> int:
+        best_axis = 0
+        best_margin = float("inf")
+        for axis in range(self.dims):
+            margin_sum = 0.0
+            for key in (
+                lambda e: (e.rect.low[axis], e.rect.high[axis]),
+                lambda e: (e.rect.high[axis], e.rect.low[axis]),
+            ):
+                ordered = sorted(entries, key=key)
+                for group1, group2 in self._distributions(ordered):
+                    margin_sum += mbb_of_rects([e.rect for e in group1]).margin()
+                    margin_sum += mbb_of_rects([e.rect for e in group2]).margin()
+            if margin_sum < best_margin:
+                best_margin = margin_sum
+                best_axis = axis
+        return best_axis
+
+    def _choose_split_index(
+        self, entries: List[Entry], axis: int
+    ) -> Tuple[List[Entry], List[Entry]]:
+        best: Tuple[List[Entry], List[Entry]] = (entries[: self.min_entries], entries[self.min_entries :])
+        best_key = (float("inf"), float("inf"))
+        for key in (
+            lambda e: (e.rect.low[axis], e.rect.high[axis]),
+            lambda e: (e.rect.high[axis], e.rect.low[axis]),
+        ):
+            ordered = sorted(entries, key=key)
+            for group1, group2 in self._distributions(ordered):
+                mbb1 = mbb_of_rects([e.rect for e in group1])
+                mbb2 = mbb_of_rects([e.rect for e in group2])
+                candidate_key = (
+                    mbb1.intersection_volume(mbb2),
+                    mbb1.volume() + mbb2.volume(),
+                )
+                if candidate_key < best_key:
+                    best_key = candidate_key
+                    best = (list(group1), list(group2))
+        return best

@@ -1,0 +1,11 @@
+"""Oriented skylines and stairlines (paper §III-B / §III-C)."""
+
+from repro.skyline.skyline import oriented_skyline, oriented_skyline_indices
+from repro.skyline.stairline import splice_point, stairline_points
+
+__all__ = [
+    "oriented_skyline",
+    "oriented_skyline_indices",
+    "splice_point",
+    "stairline_points",
+]

@@ -1,0 +1,49 @@
+"""Oriented skyline computation (Definition 5).
+
+Given a set of points and a corner bitmask ``b``, the oriented skyline is
+the subset of points not dominated by any other point with respect to
+``b`` — i.e. the frontier of points closest to the corner ``R^b``.  In the
+context of clipping, the skyline of the children's ``b``-corners is
+exactly the set of valid object-situated clip points for that corner
+(paper §III-B).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.geometry.dominance import dominates
+
+Point = Tuple[float, ...]
+
+
+def oriented_skyline_indices(points: Sequence[Point], mask: int) -> List[int]:
+    """Indices of the skyline of ``points`` with respect to corner ``mask``.
+
+    Duplicate points are reported once (the first occurrence wins), because
+    a duplicate contributes no additional clipping power.  Runs the classic
+    O(n^2) pairwise filter, which is the right trade-off for R-tree node
+    fan-outs (tens of points); a sort-based O(n log n) method would only
+    help in 2d.
+    """
+    skyline: List[int] = []
+    seen: set = set()
+    for i, p in enumerate(points):
+        if p in seen:
+            continue
+        dominated = False
+        for j, q in enumerate(points):
+            if i == j:
+                continue
+            if dominates(q, p, mask):
+                dominated = True
+                break
+        if not dominated:
+            skyline.append(i)
+            seen.add(p)
+    return skyline
+
+
+def oriented_skyline(points: Sequence[Point], mask: int) -> List[Point]:
+    """The skyline points themselves (see :func:`oriented_skyline_indices`)."""
+    return [points[i] for i in oriented_skyline_indices(points, mask)]

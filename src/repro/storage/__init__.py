@@ -1,0 +1,18 @@
+"""Disk/page model and I/O accounting.
+
+The paper's experiments measure *logical I/O*: the number of leaf-level
+node accesses during queries (internal nodes are assumed memory-resident),
+plus, for the scalability experiment, cold reads through a buffer pool.
+This package provides the counters and a small simulated disk so those
+measurements are explicit and reproducible.
+"""
+
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import DiskModel, SimulatedDisk
+from repro.storage.page import PageLayout
+from repro.storage.stats import IOStats
+
+# Index persistence (save_tree / load_tree) lives in
+# ``repro.storage.persistence``; it is not re-exported here because it
+# depends on the rtree package, which would create an import cycle.
+__all__ = ["IOStats", "PageLayout", "DiskModel", "SimulatedDisk", "BufferPool"]

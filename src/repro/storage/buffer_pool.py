@@ -1,0 +1,63 @@
+"""An LRU buffer pool over a simulated disk."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.storage.disk import SimulatedDisk
+from repro.storage.stats import IOStats
+
+
+class BufferPool:
+    """Least-recently-used page cache.
+
+    ``capacity`` is the number of pages held in memory.  A ``capacity`` of
+    0 disables caching (every access is a miss), ``None`` caches
+    everything (every access after the first is a hit).
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int],
+        disk: Optional[SimulatedDisk] = None,
+        stats: Optional[IOStats] = None,
+    ):
+        if capacity is not None and capacity < 0:
+            raise ValueError("capacity must be non-negative or None")
+        self.capacity = capacity
+        self.disk = disk
+        self.stats = stats if stats is not None else IOStats()
+        self._lru: "OrderedDict[int, None]" = OrderedDict()
+
+    def access(self, page_id: int) -> bool:
+        """Access ``page_id``; returns True on a buffer hit.
+
+        Misses are charged to the simulated disk (when one is attached) and
+        counted in ``stats``.
+        """
+        if page_id in self._lru:
+            self._lru.move_to_end(page_id)
+            self.stats.buffer_hits += 1
+            return True
+
+        self.stats.buffer_misses += 1
+        if self.disk is not None:
+            self.disk.read(page_id)
+        if self.capacity != 0:
+            self._lru[page_id] = None
+            if self.capacity is not None:
+                while len(self._lru) > self.capacity:
+                    self._lru.popitem(last=False)
+        return False
+
+    def contains(self, page_id: int) -> bool:
+        """True when the page is currently cached (does not touch LRU order)."""
+        return page_id in self._lru
+
+    def clear(self) -> None:
+        """Drop every cached page (simulates a cold restart)."""
+        self._lru.clear()
+
+    def __len__(self) -> int:
+        return len(self._lru)

@@ -1,0 +1,47 @@
+"""Page layout arithmetic: how many entries fit in a disk page.
+
+The paper configures min/max node capacities per the RR*-tree benchmark
+([13]); those depend on page size and dimensionality.  ``PageLayout``
+derives capacities from a page size so experiments can state "4 KiB pages"
+and get the same fan-outs the original benchmark would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PageLayout:
+    """Byte-level layout assumptions for a disk-based R-tree node.
+
+    ``coord_bytes`` is the size of one coordinate (8 for doubles),
+    ``pointer_bytes`` the size of a child pointer / object id, and
+    ``header_bytes`` the fixed per-node header (level, entry count, ...).
+    """
+
+    page_size: int = 4096
+    coord_bytes: int = 8
+    pointer_bytes: int = 8
+    header_bytes: int = 16
+
+    def entry_bytes(self, dims: int) -> int:
+        """Bytes per entry: a d-dimensional rectangle plus a pointer."""
+        return 2 * dims * self.coord_bytes + self.pointer_bytes
+
+    def max_entries(self, dims: int) -> int:
+        """Maximum fan-out ``M`` for ``dims``-dimensional data."""
+        capacity = (self.page_size - self.header_bytes) // self.entry_bytes(dims)
+        return max(int(capacity), 2)
+
+    def min_entries(self, dims: int, fill: float = 0.4) -> int:
+        """Minimum fan-out ``m`` as a fraction of ``M`` (default 40 %)."""
+        return max(2, int(self.max_entries(dims) * fill))
+
+    def node_bytes(self) -> int:
+        """Size of one node on disk (always a full page)."""
+        return self.page_size
+
+
+#: Default layout used across the benchmark harness.
+DEFAULT_PAGE_LAYOUT = PageLayout()

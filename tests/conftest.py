@@ -1,0 +1,56 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+import random
+
+import pytest
+
+from repro.geometry.objects import SpatialObject
+from repro.geometry.rect import Rect
+
+
+def make_random_objects(count, dims=2, seed=0, extent=100.0, max_side=3.0):
+    """Deterministic random boxes used across many tests."""
+    rng = random.Random(seed)
+    objects = []
+    for i in range(count):
+        low = [rng.uniform(0.0, extent - max_side) for _ in range(dims)]
+        high = [lo + rng.uniform(0.01, max_side) for lo in low]
+        objects.append(SpatialObject(i, Rect(low, high)))
+    return objects
+
+
+@pytest.fixture
+def small_objects_2d():
+    """60 small 2d boxes."""
+    return make_random_objects(60, dims=2, seed=1)
+
+
+@pytest.fixture
+def small_objects_3d():
+    """60 small 3d boxes."""
+    return make_random_objects(60, dims=3, seed=2)
+
+
+@pytest.fixture
+def medium_objects_2d():
+    """400 small 2d boxes (enough for multi-level trees)."""
+    return make_random_objects(400, dims=2, seed=3)
+
+
+@pytest.fixture
+def figure2_objects():
+    """Five objects laid out like the paper's Figure 2 running example.
+
+    The layout preserves the relations the paper derives from its figure:
+    the oriented skyline for corner ``R^00`` is {o1, o2, o3, o4} with o5
+    dominated by o3 and o4, and for corner ``R^11`` the splice of o1's and
+    o4's corners is a valid stairline point that clips a large area.
+    """
+    rects = [
+        Rect((0.5, 5.5), (2.0, 7.5)),    # o1: top-left
+        Rect((1.0, 3.8), (2.0, 5.0)),    # o2: left
+        Rect((3.0, 1.8), (4.5, 2.4)),    # o3: centre-bottom
+        Rect((5.5, 1.0), (7.5, 2.5)),    # o4: bottom-right
+        Rect((8.0, 2.0), (9.0, 2.45)),   # o5: right
+    ]
+    return [SpatialObject(i + 1, rect) for i, rect in enumerate(rects)]

@@ -1,0 +1,154 @@
+"""Tests for the alternative bounding geometries (Figure 8/9 shapes)."""
+
+import math
+import random
+
+import pytest
+
+from repro.bounding.base import SHAPE_NAMES, bounding_shape, corner_points, dead_space_of_shape
+from repro.bounding.circle import minimum_bounding_circle
+from repro.bounding.convex_hull import ConvexPolygon, convex_hull
+from repro.bounding.mcorner import m_corner_polygon
+from repro.bounding.rotated_mbb import rotated_minimum_bounding_box
+from repro.geometry.rect import Rect, mbb_of_rects
+
+
+def _random_points(count, seed=0, extent=10.0):
+    rng = random.Random(seed)
+    return [(rng.uniform(0, extent), rng.uniform(0, extent)) for _ in range(count)]
+
+
+class TestConvexHull:
+    def test_square_hull(self):
+        points = [(0, 0), (1, 0), (1, 1), (0, 1), (0.5, 0.5)]
+        hull = convex_hull(points)
+        assert hull.area() == pytest.approx(1.0)
+        assert hull.num_points() == 4
+
+    def test_collinear_points(self):
+        hull = convex_hull([(0, 0), (1, 1), (2, 2)])
+        assert hull.area() == 0.0
+        assert hull.num_points() <= 2
+
+    def test_hull_contains_all_points(self):
+        points = _random_points(60, seed=1)
+        hull = convex_hull(points)
+        assert all(hull.contains_point(p) for p in points)
+
+    def test_hull_area_never_exceeds_mbb(self):
+        points = _random_points(40, seed=2)
+        hull = convex_hull(points)
+        xs, ys = zip(*points)
+        mbb_area = (max(xs) - min(xs)) * (max(ys) - min(ys))
+        assert hull.area() <= mbb_area + 1e-9
+
+    def test_polygon_perimeter(self):
+        square = ConvexPolygon([(0, 0), (2, 0), (2, 2), (0, 2)])
+        assert square.perimeter() == pytest.approx(8.0)
+
+    def test_empty_polygon_rejected(self):
+        with pytest.raises(ValueError):
+            ConvexPolygon([])
+        with pytest.raises(ValueError):
+            convex_hull([])
+
+
+class TestMinimumBoundingCircle:
+    def test_two_points(self):
+        circle = minimum_bounding_circle([(0, 0), (2, 0)])
+        assert circle.center == pytest.approx((1.0, 0.0))
+        assert circle.radius == pytest.approx(1.0)
+
+    def test_contains_all_points(self):
+        points = _random_points(80, seed=3)
+        circle = minimum_bounding_circle(points)
+        assert all(circle.contains_point(p) for p in points)
+
+    def test_minimality_against_centroid_circle(self):
+        points = _random_points(40, seed=4)
+        circle = minimum_bounding_circle(points)
+        cx = sum(p[0] for p in points) / len(points)
+        cy = sum(p[1] for p in points) / len(points)
+        naive_radius = max(math.dist((cx, cy), p) for p in points)
+        assert circle.radius <= naive_radius + 1e-9
+
+    def test_single_point(self):
+        circle = minimum_bounding_circle([(3.0, 4.0)])
+        assert circle.radius == 0.0
+        assert circle.area() == 0.0
+
+    def test_collinear_points(self):
+        circle = minimum_bounding_circle([(0, 0), (1, 0), (4, 0)])
+        assert circle.radius == pytest.approx(2.0)
+
+
+class TestRotatedMbbAndMCorner:
+    def test_rotated_box_beats_axis_aligned_for_diagonal_data(self):
+        points = [(i, i + (0.1 if i % 2 else -0.1)) for i in range(10)]
+        rotated = rotated_minimum_bounding_box(points)
+        xs, ys = zip(*points)
+        axis_aligned_area = (max(xs) - min(xs)) * (max(ys) - min(ys))
+        assert rotated.area() < axis_aligned_area
+
+    def test_rotated_box_contains_points(self):
+        points = _random_points(30, seed=5)
+        rotated = rotated_minimum_bounding_box(points)
+        assert all(rotated.contains_point(p, eps=1e-6) for p in points)
+
+    def test_mcorner_reduces_vertex_count(self):
+        points = _random_points(50, seed=6)
+        hull = convex_hull(points)
+        four = m_corner_polygon(points, 4)
+        five = m_corner_polygon(points, 5)
+        assert four.num_points() <= 4 or four.num_points() <= hull.num_points()
+        assert five.num_points() <= max(5, hull.num_points())
+
+    def test_mcorner_contains_hull(self):
+        points = _random_points(40, seed=7)
+        four = m_corner_polygon(points, 4)
+        assert all(four.contains_point(p, eps=1e-6) for p in points)
+
+    def test_mcorner_area_at_least_hull(self):
+        points = _random_points(40, seed=8)
+        hull = convex_hull(points)
+        four = m_corner_polygon(points, 4)
+        assert four.area() >= hull.area() - 1e-9
+
+    def test_mcorner_invalid_corner_count(self):
+        with pytest.raises(ValueError):
+            m_corner_polygon([(0, 0), (1, 1)], corners=2)
+
+
+class TestBoundingShapeDispatch:
+    @pytest.fixture
+    def rects(self):
+        rng = random.Random(9)
+        rects = []
+        for _ in range(12):
+            low = (rng.uniform(0, 10), rng.uniform(0, 10))
+            rects.append(Rect(low, (low[0] + rng.uniform(0.2, 2), low[1] + rng.uniform(0.2, 2))))
+        return rects
+
+    def test_all_shapes_constructible(self, rects):
+        for name in SHAPE_NAMES:
+            shape = bounding_shape(name, rects)
+            assert shape.area() >= 0.0
+            assert shape.num_points() >= 2
+
+    def test_unknown_shape_rejected(self, rects):
+        with pytest.raises(ValueError):
+            bounding_shape("ellipse", rects)
+
+    def test_dead_space_ordering(self, rects):
+        mbb_dead = dead_space_of_shape(bounding_shape("MBB", rects), rects)
+        hull_dead = dead_space_of_shape(bounding_shape("CH", rects), rects)
+        assert hull_dead <= mbb_dead + 1e-9
+        assert 0.0 <= hull_dead <= 1.0
+
+    def test_corner_points_requires_2d(self):
+        with pytest.raises(ValueError):
+            corner_points([Rect((0, 0, 0), (1, 1, 1))])
+
+    def test_mbb_shape_matches_rect_union(self, rects):
+        shape = bounding_shape("MBB", rects)
+        assert shape.area() == pytest.approx(mbb_of_rects(rects).volume())

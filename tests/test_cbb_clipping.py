@@ -1,0 +1,121 @@
+"""Unit tests for clip-point construction (Algorithm 1)."""
+
+import pytest
+
+from repro.cbb.clipping import ClippingConfig, compute_clip_points
+from repro.cbb.scoring import clip_volume
+from repro.geometry.rect import Rect, mbb_of_rects
+
+
+class TestClippingConfig:
+    def test_defaults_match_paper(self):
+        config = ClippingConfig()
+        assert config.method == "stairline"
+        assert config.tau == pytest.approx(0.025)
+        assert config.max_clip_points(2) == 8
+        assert config.max_clip_points(3) == 16
+
+    def test_explicit_k(self):
+        assert ClippingConfig(k=3).max_clip_points(2) == 3
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(ValueError):
+            ClippingConfig(method="convex-hull")
+
+    def test_invalid_tau_rejected(self):
+        with pytest.raises(ValueError):
+            ClippingConfig(tau=1.5)
+        with pytest.raises(ValueError):
+            ClippingConfig(tau=-0.1)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            ClippingConfig(k=-1)
+
+
+class TestComputeClipPoints:
+    def test_no_children_yields_no_clips(self):
+        mbb = Rect((0, 0), (10, 10))
+        assert compute_clip_points(mbb, []) == []
+
+    def test_zero_volume_mbb_yields_no_clips(self):
+        children = [Rect((0, 1), (0, 2)), Rect((0, 5), (0, 6))]
+        mbb = mbb_of_rects(children)
+        assert compute_clip_points(mbb, children) == []
+
+    def test_k_zero_yields_no_clips(self, figure2_objects):
+        rects = [o.rect for o in figure2_objects]
+        mbb = mbb_of_rects(rects)
+        assert compute_clip_points(mbb, rects, ClippingConfig(k=0)) == []
+
+    def test_full_coverage_yields_no_clips(self):
+        mbb = Rect((0, 0), (4, 4))
+        children = [Rect((0, 0), (2, 4)), Rect((2, 0), (4, 4))]
+        assert compute_clip_points(mbb, children, ClippingConfig(tau=0.01)) == []
+
+    def test_clip_points_never_overlap_children(self, figure2_objects):
+        rects = [o.rect for o in figure2_objects]
+        mbb = mbb_of_rects(rects)
+        for method in ("skyline", "stairline"):
+            clips = compute_clip_points(mbb, rects, ClippingConfig(method=method, tau=0.0))
+            assert clips
+            for clip in clips:
+                region = clip.region(mbb)
+                for rect in rects:
+                    assert region.intersection_volume(rect) == pytest.approx(0.0, abs=1e-12)
+
+    def test_sorted_by_descending_score(self, figure2_objects):
+        rects = [o.rect for o in figure2_objects]
+        mbb = mbb_of_rects(rects)
+        clips = compute_clip_points(mbb, rects, ClippingConfig(method="stairline", tau=0.0))
+        scores = [c.score for c in clips]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_respects_k_limit(self, figure2_objects):
+        rects = [o.rect for o in figure2_objects]
+        mbb = mbb_of_rects(rects)
+        clips = compute_clip_points(mbb, rects, ClippingConfig(method="stairline", k=3, tau=0.0))
+        assert len(clips) <= 3
+
+    def test_tau_threshold_filters_small_clips(self, figure2_objects):
+        rects = [o.rect for o in figure2_objects]
+        mbb = mbb_of_rects(rects)
+        loose = compute_clip_points(mbb, rects, ClippingConfig(method="skyline", tau=0.0))
+        strict = compute_clip_points(mbb, rects, ClippingConfig(method="skyline", tau=0.2))
+        assert len(strict) <= len(loose)
+        node_volume = mbb.volume()
+        for clip in strict:
+            assert clip_volume(clip.coord, clip.mask, mbb) > 0.2 * node_volume
+
+    def test_stairline_clips_at_least_as_much_as_skyline(self, figure2_objects):
+        from repro.cbb.scoring import clipped_union_volume
+
+        rects = [o.rect for o in figure2_objects]
+        mbb = mbb_of_rects(rects)
+        sky = compute_clip_points(mbb, rects, ClippingConfig(method="skyline", tau=0.0))
+        sta = compute_clip_points(mbb, rects, ClippingConfig(method="stairline", tau=0.0))
+        assert clipped_union_volume(sta, mbb) >= clipped_union_volume(sky, mbb) - 1e-9
+
+    def test_point_children_produce_valid_clips(self):
+        children = [Rect.from_point((1.0, 1.0)), Rect.from_point((5.0, 9.0)), Rect.from_point((9.0, 3.0))]
+        mbb = mbb_of_rects(children)
+        clips = compute_clip_points(mbb, children, ClippingConfig(method="stairline", tau=0.0))
+        assert clips
+        for clip in clips:
+            region = clip.region(mbb)
+            for child in children:
+                assert not (
+                    region.low[0] < child.low[0] < region.high[0]
+                    and region.low[1] < child.low[1] < region.high[1]
+                )
+
+    def test_3d_clipping(self, small_objects_3d):
+        rects = [o.rect for o in small_objects_3d[:25]]
+        mbb = mbb_of_rects(rects)
+        clips = compute_clip_points(mbb, rects, ClippingConfig(method="stairline"))
+        assert len(clips) <= 16
+        for clip in clips:
+            assert clip.dims == 3
+            region = clip.region(mbb)
+            for rect in rects:
+                assert region.intersection_volume(rect) == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,115 @@
+"""Unit tests for the clipped intersection test (Algorithm 2)."""
+
+import pytest
+
+from repro.cbb.clip_point import ClipPoint
+from repro.cbb.clipping import ClippingConfig, compute_clip_points
+from repro.cbb.intersection import clipped_intersects, insertion_keeps_clips_valid
+from repro.geometry.rect import Rect, mbb_of_rects
+
+
+@pytest.fixture
+def clipped_example(figure2_objects):
+    rects = [o.rect for o in figure2_objects]
+    mbb = mbb_of_rects(rects)
+    clips = compute_clip_points(mbb, rects, ClippingConfig(method="stairline", tau=0.0))
+    return mbb, rects, clips
+
+
+class TestClippedIntersects:
+    def test_disjoint_query_rejected_by_mbb(self, clipped_example):
+        mbb, _, clips = clipped_example
+        far = Rect((100, 100), (101, 101))
+        assert not clipped_intersects(mbb, clips, far)
+
+    def test_query_over_object_accepted(self, clipped_example):
+        mbb, rects, clips = clipped_example
+        for rect in rects:
+            assert clipped_intersects(mbb, clips, rect.scaled(0.5))
+
+    def test_query_in_clipped_corner_rejected(self, clipped_example):
+        mbb, rects, clips = clipped_example
+        # The top-right corner of the running example is dead space.
+        corner = mbb.corner(0b11)
+        query = Rect((corner[0] - 0.5, corner[1] - 0.5), corner)
+        assert not any(query.intersects(r) for r in rects)
+        assert not clipped_intersects(mbb, clips, query)
+
+    def test_no_clip_points_reduces_to_mbb_test(self):
+        mbb = Rect((0, 0), (10, 10))
+        assert clipped_intersects(mbb, [], Rect((1, 1), (2, 2)))
+        assert not clipped_intersects(mbb, [], Rect((11, 11), (12, 12)))
+
+    def test_never_prunes_query_touching_an_object(self, clipped_example):
+        """Exhaustive check on a grid of query boxes: no false negatives."""
+        mbb, rects, clips = clipped_example
+        import itertools
+
+        xs = [mbb.low[0] + i * (mbb.high[0] - mbb.low[0]) / 12 for i in range(13)]
+        ys = [mbb.low[1] + i * (mbb.high[1] - mbb.low[1]) / 12 for i in range(13)]
+        for (x1, x2), (y1, y2) in itertools.product(
+            itertools.combinations(xs, 2), itertools.combinations(ys, 2)
+        ):
+            query = Rect((x1, y1), (x2, y2))
+            touches_object = any(query.intersects(r) for r in rects)
+            if touches_object:
+                assert clipped_intersects(mbb, clips, query), query
+
+    def test_prunes_some_dead_space_queries(self, clipped_example):
+        mbb, rects, clips = clipped_example
+        pruned = 0
+        import random
+
+        rng = random.Random(1)
+        for _ in range(300):
+            cx = rng.uniform(mbb.low[0], mbb.high[0])
+            cy = rng.uniform(mbb.low[1], mbb.high[1])
+            query = Rect((cx - 0.05, cy - 0.05), (cx + 0.05, cy + 0.05))
+            if any(query.intersects(r) for r in rects):
+                continue
+            if not clipped_intersects(mbb, clips, query):
+                pruned += 1
+        assert pruned > 0, "clipping should prune at least some dead-space queries"
+
+
+class TestInsertionValidity:
+    def test_insert_outside_clip_regions_is_valid(self, clipped_example):
+        mbb, rects, clips = clipped_example
+        # A rectangle nested inside an existing object cannot reach into any
+        # clipped (dead) region, so every clip point stays valid.
+        new_rect = rects[2].scaled(0.5)
+        assert insertion_keeps_clips_valid(mbb, clips, new_rect)
+
+    def test_insert_into_clipped_corner_invalidates(self, clipped_example):
+        mbb, rects, clips = clipped_example
+        corner = mbb.corner(0b11)
+        intruder = Rect((corner[0] - 0.4, corner[1] - 0.4), corner)
+        assert not insertion_keeps_clips_valid(mbb, clips, intruder)
+
+    def test_paper_figure7_insertion_example(self):
+        # Figure 7b: after deleting o3, clip point c' prunes the space o3
+        # occupied; re-inserting o3 must be detected as invalidating c'.
+        o3 = Rect((3.0, 3.5), (4.5, 5.0))
+        others = [
+            Rect((1.0, 6.5), (2.5, 8.0)),
+            Rect((0.5, 3.0), (1.5, 4.5)),
+            Rect((5.5, 1.0), (7.5, 2.5)),
+            Rect((8.0, 2.0), (9.0, 3.0)),
+        ]
+        mbb = mbb_of_rects(others + [o3])
+        clips_without_o3 = compute_clip_points(mbb, others, ClippingConfig(method="stairline", tau=0.0))
+        assert not insertion_keeps_clips_valid(mbb, clips_without_o3, o3)
+
+    def test_empty_clip_set_always_valid(self):
+        mbb = Rect((0, 0), (10, 10))
+        assert insertion_keeps_clips_valid(mbb, [], Rect((9, 9), (10, 10)))
+
+    def test_selector_distinguishes_query_and_insert(self):
+        # A rectangle that partially overlaps a clipped region invalidates
+        # the clip (insert semantics) but is not pruned (query semantics),
+        # because only part of it lies in dead space.
+        mbb = Rect((0, 0), (10, 10))
+        clip = ClipPoint((6.0, 6.0), 0b11, score=16.0)
+        straddling = Rect((5.0, 5.0), (7.0, 7.0))
+        assert clipped_intersects(mbb, [clip], straddling)
+        assert not insertion_keeps_clips_valid(mbb, [clip], straddling)

@@ -1,0 +1,109 @@
+"""Tests for the command-line interface and the tree persistence format."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.geometry.rect import Rect
+from repro.query.range_query import brute_force_range
+from repro.rtree.clipped import ClippedRTree
+from repro.rtree.registry import VARIANT_NAMES, build_rtree
+from repro.storage.persistence import load_tree, save_tree
+from tests.conftest import make_random_objects
+
+
+class TestPersistence:
+    @pytest.mark.parametrize("variant", VARIANT_NAMES)
+    def test_roundtrip_plain_tree(self, variant, tmp_path, medium_objects_2d):
+        tree = build_rtree(variant, medium_objects_2d, max_entries=10)
+        path = tmp_path / "index.cbbr"
+        save_tree(tree, path)
+        loaded, clipped = load_tree(path)
+        assert clipped is None
+        assert len(loaded) == len(tree)
+        assert loaded.height == tree.height
+        assert loaded.max_entries == tree.max_entries
+        loaded.check_invariants()
+        query = Rect((10, 10), (40, 40))
+        expected = {o.oid for o in brute_force_range(medium_objects_2d, query)}
+        assert {o.oid for o in loaded.range_query(query)} == expected
+
+    def test_roundtrip_clipped_tree(self, tmp_path, medium_objects_2d):
+        tree = build_rtree("rstar", medium_objects_2d, max_entries=10)
+        clipped = ClippedRTree.wrap(tree, method="stairline")
+        path = tmp_path / "clipped.cbbr"
+        save_tree(clipped, path)
+        loaded_tree, loaded_clipped = load_tree(path)
+        assert loaded_clipped is not None
+        assert loaded_clipped.store.total_clip_points() == clipped.store.total_clip_points()
+        loaded_clipped.check_clip_invariants()
+        query = Rect((0, 0), (50, 50))
+        expected = {o.oid for o in brute_force_range(medium_objects_2d, query)}
+        assert {o.oid for o in loaded_clipped.range_query(query)} == expected
+
+    def test_roundtrip_3d(self, tmp_path, small_objects_3d):
+        tree = build_rtree("quadratic", small_objects_3d, max_entries=8)
+        clipped = ClippedRTree.wrap(tree)
+        path = tmp_path / "tree3d.cbbr"
+        save_tree(clipped, path)
+        loaded_tree, loaded_clipped = load_tree(path)
+        assert loaded_tree.dims == 3
+        loaded_tree.check_invariants()
+        assert loaded_clipped is not None
+
+    def test_loaded_tree_supports_updates(self, tmp_path, small_objects_2d):
+        tree = build_rtree("rstar", small_objects_2d, max_entries=8)
+        path = tmp_path / "tree.cbbr"
+        save_tree(tree, path)
+        loaded, _ = load_tree(path)
+        extra = make_random_objects(40, seed=77)
+        for obj in extra:
+            loaded.insert(obj)
+        loaded.check_invariants()
+        assert len(loaded) == len(small_objects_2d) + 40
+
+    def test_rejects_non_tree_file(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"definitely not an index")
+        with pytest.raises(ValueError):
+            load_tree(path)
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        output = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in output
+
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "axo03" in output and "rea02" in output
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_fig08(self, capsys):
+        assert main(["run", "fig08"]) == 0
+        output = capsys.readouterr().out
+        assert "CBBSTA" in output
+
+    def test_run_small_experiment_with_overrides(self, capsys):
+        assert main(["run", "fig13", "--size", "300", "--max-entries", "16", "--queries", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "CSKY" in output and "CSTA" in output
+
+    def test_build_info(self, capsys):
+        assert main(["build-info", "par02", "rstar", "--size", "300", "--max-entries", "16"]) == 0
+        output = capsys.readouterr().out
+        assert "dead space" in output
+        assert "stairline" in output
+
+    def test_build_info_rejects_unknown_names(self, capsys):
+        assert main(["build-info", "nope", "rstar"]) == 2
+        assert main(["build-info", "par02", "kd-tree"]) == 2

@@ -1,0 +1,107 @@
+"""Tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    GaussianClusterGenerator,
+    NeuriteGenerator,
+    ParcelGenerator,
+    PointCloudGenerator,
+    StreetSegmentGenerator,
+    UniformBoxGenerator,
+    dataset_info,
+    generate,
+)
+from repro.geometry.rect import mbb_of_rects
+
+
+class TestRegistry:
+    def test_all_paper_datasets_registered(self):
+        assert set(DATASET_NAMES) == {"par02", "par03", "rea02", "rea03", "axo03", "den03", "neu03"}
+        for name in DATASET_NAMES:
+            assert dataset_info(name) is not None
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            generate("nope", 10)
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_generate_correct_count_and_dims(self, name):
+        objects = generate(name, 200, seed=1)
+        assert len(objects) == 200
+        expected_dims = 3 if name.endswith("03") else 2
+        assert all(obj.dims == expected_dims for obj in objects)
+        assert [obj.oid for obj in objects] == list(range(200))
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_deterministic_per_seed(self, name):
+        a = generate(name, 50, seed=5)
+        b = generate(name, 50, seed=5)
+        c = generate(name, 50, seed=6)
+        assert [o.rect for o in a] == [o.rect for o in b]
+        assert [o.rect for o in a] != [o.rect for o in c]
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            generate("par02", 0)
+
+
+class TestGeneratorCharacteristics:
+    def test_rea03_is_pure_points(self):
+        objects = generate("rea03", 100, seed=2)
+        assert all(obj.rect.is_point() for obj in objects)
+
+    def test_street_segments_are_thin(self):
+        objects = StreetSegmentGenerator().generate(300, seed=3)
+        thin = sum(
+            1
+            for obj in objects
+            if min(obj.rect.side(0), obj.rect.side(1)) < 0.2 * max(obj.rect.side(0), obj.rect.side(1))
+        )
+        assert thin > 0.5 * len(objects)
+
+    def test_parcels_have_high_size_variance(self):
+        objects = ParcelGenerator(dims=2).generate(500, seed=4)
+        volumes = sorted(obj.rect.volume() for obj in objects)
+        assert volumes[int(0.95 * len(volumes))] > 50 * max(volumes[int(0.05 * len(volumes))], 1e-12)
+
+    def test_neurites_are_long_and_skinny(self):
+        objects = NeuriteGenerator(kind="axon").generate(400, seed=5)
+        elongated = 0
+        for obj in objects:
+            sides = sorted(obj.rect.side(i) for i in range(3))
+            if sides[2] > 3 * sides[0]:
+                elongated += 1
+        assert elongated > 0.5 * len(objects)
+
+    def test_neurite_kinds_differ(self):
+        axons = NeuriteGenerator(kind="axon").generate(200, seed=6)
+        dendrites = NeuriteGenerator(kind="dendrite").generate(200, seed=6)
+        avg_axon = sum(o.rect.margin() for o in axons) / len(axons)
+        avg_dendrite = sum(o.rect.margin() for o in dendrites) / len(dendrites)
+        assert avg_axon > avg_dendrite
+
+    def test_unknown_neurite_kind_rejected(self):
+        with pytest.raises(ValueError):
+            NeuriteGenerator(kind="soma")
+
+    def test_parcel_generator_requires_2d(self):
+        with pytest.raises(ValueError):
+            ParcelGenerator(dims=1)
+
+    def test_objects_fit_in_reasonable_extent(self):
+        for generator in (
+            UniformBoxGenerator(dims=2, extent=100.0),
+            GaussianClusterGenerator(dims=2, extent=100.0),
+            PointCloudGenerator(dims=3, extent=100.0),
+        ):
+            objects = generator.generate(200, seed=7)
+            space = mbb_of_rects([o.rect for o in objects])
+            assert all(space.side(i) < 1000.0 for i in range(space.dims))
+
+    def test_uniform_boxes_cover_space(self):
+        objects = UniformBoxGenerator(dims=2, extent=100.0).generate(500, seed=8)
+        space = mbb_of_rects([o.rect for o in objects])
+        assert space.side(0) > 80.0
+        assert space.side(1) > 80.0

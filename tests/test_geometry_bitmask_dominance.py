@@ -1,0 +1,99 @@
+"""Unit tests for corner bitmasks and oriented dominance."""
+
+import pytest
+
+from repro.geometry.bitmask import (
+    all_corner_masks,
+    corner_of,
+    flip_mask,
+    mask_bits,
+    mask_from_bits,
+)
+from repro.geometry.dominance import dominates, strictly_inside_corner_region
+
+
+class TestBitmask:
+    def test_mask_bits_roundtrip(self):
+        for mask in range(16):
+            bits = mask_bits(mask, 4)
+            assert mask_from_bits(bits) == mask
+
+    def test_mask_bits_values(self):
+        assert mask_bits(0b101, 3) == (1, 0, 1)
+        assert mask_from_bits((0, 1, 1)) == 0b110
+
+    def test_flip_mask(self):
+        assert flip_mask(0b00, 2) == 0b11
+        assert flip_mask(0b101, 3) == 0b010
+        assert flip_mask(flip_mask(0b0110, 4), 4) == 0b0110
+
+    def test_all_corner_masks(self):
+        assert list(all_corner_masks(2)) == [0, 1, 2, 3]
+        assert len(list(all_corner_masks(3))) == 8
+
+    def test_corner_of(self):
+        low, high = (0.0, 1.0, 2.0), (10.0, 11.0, 12.0)
+        assert corner_of(low, high, 0b000) == (0.0, 1.0, 2.0)
+        assert corner_of(low, high, 0b111) == (10.0, 11.0, 12.0)
+        assert corner_of(low, high, 0b010) == (0.0, 11.0, 2.0)
+
+
+class TestDominance:
+    def test_paper_example_dominance(self):
+        # Figure 2: o4's 00-corner dominates o5's 00-corner w.r.t. R^00.
+        o4_corner = (5.5, 1.0)
+        o5_corner = (8.0, 2.0)
+        assert dominates(o4_corner, o5_corner, mask=0b00)
+        assert not dominates(o5_corner, o4_corner, mask=0b00)
+
+    def test_orientation_matters(self):
+        p, q = (1.0, 1.0), (2.0, 2.0)
+        assert dominates(p, q, mask=0b00)   # closer to the min corner
+        assert dominates(q, p, mask=0b11)   # closer to the max corner
+        assert not dominates(p, q, mask=0b01)
+        assert not dominates(p, q, mask=0b10)
+
+    def test_no_self_dominance(self):
+        p = (3.0, 4.0)
+        assert not dominates(p, p, mask=0b00)
+        assert not dominates(p, tuple(p), mask=0b11)
+
+    def test_ties_require_strict_improvement(self):
+        p, q = (1.0, 2.0), (1.0, 3.0)
+        assert dominates(p, q, mask=0b00)   # equal x, strictly smaller y
+        assert not dominates(q, p, mask=0b00)
+
+    def test_incomparable_points(self):
+        p, q = (1.0, 5.0), (2.0, 1.0)
+        for mask in range(4):
+            assert not dominates(p, q, mask) or not dominates(q, p, mask)
+        assert not dominates(p, q, 0b00)
+        assert not dominates(q, p, 0b00)
+
+    def test_3d_dominance(self):
+        p, q = (1.0, 1.0, 1.0), (2.0, 2.0, 2.0)
+        assert dominates(p, q, mask=0b000)
+        assert dominates(q, p, mask=0b111)
+        assert not dominates(p, q, mask=0b001)
+
+
+class TestStrictCornerRegion:
+    def test_strictly_inside(self):
+        # Region between anchor (5,5) and the max corner: points with both
+        # coordinates strictly greater than 5 are inside.
+        assert strictly_inside_corner_region((6, 6), (5, 5), mask=0b11)
+        assert not strictly_inside_corner_region((5, 6), (5, 5), mask=0b11)
+        assert not strictly_inside_corner_region((4, 6), (5, 5), mask=0b11)
+
+    def test_min_corner_orientation(self):
+        assert strictly_inside_corner_region((1, 1), (2, 2), mask=0b00)
+        assert not strictly_inside_corner_region((2, 1), (2, 2), mask=0b00)
+
+    def test_mixed_orientation(self):
+        # mask 0b01: corner maximises x, minimises y.
+        assert strictly_inside_corner_region((3, 1), (2, 2), mask=0b01)
+        assert not strictly_inside_corner_region((1, 1), (2, 2), mask=0b01)
+
+    def test_boundary_is_outside(self):
+        anchor = (2.0, 2.0)
+        assert not strictly_inside_corner_region(anchor, anchor, mask=0b11)

@@ -1,0 +1,85 @@
+"""Unit tests for exact union volume and dead-space fraction."""
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.geometry.union_volume import dead_space_fraction, union_volume
+
+
+class TestUnionVolume:
+    def test_single_rect(self):
+        assert union_volume([Rect((0, 0), (2, 3))]) == pytest.approx(6.0)
+
+    def test_disjoint_rects_add_up(self):
+        rects = [Rect((0, 0), (1, 1)), Rect((5, 5), (7, 6))]
+        assert union_volume(rects) == pytest.approx(1.0 + 2.0)
+
+    def test_overlapping_rects_not_double_counted(self):
+        rects = [Rect((0, 0), (2, 2)), Rect((1, 1), (3, 3))]
+        assert union_volume(rects) == pytest.approx(4.0 + 4.0 - 1.0)
+
+    def test_nested_rects(self):
+        rects = [Rect((0, 0), (10, 10)), Rect((2, 2), (3, 3))]
+        assert union_volume(rects) == pytest.approx(100.0)
+
+    def test_empty_input(self):
+        assert union_volume([]) == 0.0
+
+    def test_degenerate_rects_contribute_nothing(self):
+        rects = [Rect.from_point((1.0, 1.0)), Rect((0, 0), (0, 5))]
+        assert union_volume(rects) == 0.0
+
+    def test_three_dimensional(self):
+        rects = [Rect((0, 0, 0), (1, 1, 1)), Rect((0.5, 0, 0), (1.5, 1, 1))]
+        assert union_volume(rects) == pytest.approx(1.5)
+
+    def test_clipping_to_within(self):
+        rects = [Rect((0, 0), (10, 10))]
+        window = Rect((5, 5), (20, 20))
+        assert union_volume(rects, within=window) == pytest.approx(25.0)
+
+    def test_within_disjoint(self):
+        rects = [Rect((0, 0), (1, 1))]
+        window = Rect((5, 5), (6, 6))
+        assert union_volume(rects, within=window) == 0.0
+
+    def test_many_random_rects_bounded_by_mbb(self):
+        import random
+
+        rng = random.Random(0)
+        rects = []
+        for _ in range(30):
+            low = [rng.uniform(0, 10), rng.uniform(0, 10)]
+            high = [lo + rng.uniform(0.1, 3) for lo in low]
+            rects.append(Rect(low, high))
+        total = union_volume(rects)
+        assert 0.0 < total <= sum(r.volume() for r in rects) + 1e-9
+
+
+class TestDeadSpaceFraction:
+    def test_full_coverage(self):
+        bounding = Rect((0, 0), (2, 2))
+        assert dead_space_fraction(bounding, [bounding]) == 0.0
+
+    def test_half_coverage(self):
+        bounding = Rect((0, 0), (2, 2))
+        child = Rect((0, 0), (1, 2))
+        assert dead_space_fraction(bounding, [child]) == pytest.approx(0.5)
+
+    def test_no_children(self):
+        bounding = Rect((0, 0), (2, 2))
+        assert dead_space_fraction(bounding, []) == 1.0
+
+    def test_zero_volume_bounding_is_all_dead(self):
+        bounding = Rect((0, 0), (0, 5))
+        assert dead_space_fraction(bounding, [Rect((0, 1), (0, 2))]) == 1.0
+
+    def test_point_children(self):
+        bounding = Rect((0, 0), (1, 1))
+        children = [Rect.from_point((0.5, 0.5)), Rect.from_point((0.2, 0.8))]
+        assert dead_space_fraction(bounding, children) == 1.0
+
+    def test_result_clamped_to_unit_interval(self):
+        bounding = Rect((0, 0), (1, 1))
+        children = [Rect((-5, -5), (5, 5))]
+        assert dead_space_fraction(bounding, children) == 0.0

@@ -1,0 +1,130 @@
+"""Unit tests for the Hilbert curve and the Hilbert R-tree."""
+
+import random
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.query.range_query import brute_force_range
+from repro.rtree.hilbert import HilbertRTree
+from repro.rtree.hilbert_curve import HilbertMapper, hilbert_index, hilbert_point
+from repro.rtree.str_bulk import str_bulk_load
+from tests.conftest import make_random_objects
+
+
+class TestHilbertCurve:
+    def test_bijective_on_small_grid_2d(self):
+        bits = 3
+        seen = set()
+        for x in range(8):
+            for y in range(8):
+                seen.add(hilbert_index((x, y), bits))
+        assert seen == set(range(64))
+
+    def test_bijective_on_small_grid_3d(self):
+        bits = 2
+        seen = set()
+        for x in range(4):
+            for y in range(4):
+                for z in range(4):
+                    seen.add(hilbert_index((x, y, z), bits))
+        assert seen == set(range(64))
+
+    def test_roundtrip_with_inverse(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            coords = (rng.randrange(256), rng.randrange(256))
+            index = hilbert_index(coords, bits=8)
+            assert hilbert_point(index, bits=8, dims=2) == coords
+
+    def test_consecutive_indexes_are_grid_neighbours(self):
+        bits = 4
+        points = {hilbert_index((x, y), bits): (x, y) for x in range(16) for y in range(16)}
+        for index in range(len(points) - 1):
+            (x1, y1), (x2, y2) = points[index], points[index + 1]
+            assert abs(x1 - x2) + abs(y1 - y2) == 1, "the curve must be continuous"
+
+    def test_mapper_clamps_out_of_range(self):
+        mapper = HilbertMapper(Rect((0, 0), (10, 10)), bits=8)
+        inside = mapper.grid_coords((5, 5))
+        below = mapper.grid_coords((-100, -100))
+        above = mapper.grid_coords((100, 100))
+        assert below == (0, 0)
+        assert above == (255, 255)
+        assert 0 < inside[0] < 255
+
+    def test_mapper_degenerate_dimension(self):
+        mapper = HilbertMapper(Rect((0, 5), (10, 5)), bits=8)
+        assert mapper.grid_coords((3, 5))[1] == 0
+
+    def test_mapper_rect_uses_center(self):
+        mapper = HilbertMapper(Rect((0, 0), (10, 10)), bits=8)
+        rect = Rect((2, 2), (4, 4))
+        assert mapper.index_of_rect(rect) == mapper.index_of_point((3, 3))
+
+
+class TestHilbertRTree:
+    def test_bulk_load_packs_leaves(self, medium_objects_2d):
+        tree = HilbertRTree.bulk_load(medium_objects_2d, max_entries=10)
+        tree.check_invariants()
+        fills = [len(leaf.entries) for leaf in tree.leaves()]
+        assert sum(fills) == len(medium_objects_2d)
+        # Bulk loading should fill most leaves to (near) capacity.
+        assert sum(fills) / (len(fills) * 10) > 0.8
+
+    def test_bulk_load_query_correctness(self, medium_objects_2d):
+        tree = HilbertRTree.bulk_load(medium_objects_2d, max_entries=10)
+        query = Rect((10, 10), (35, 40))
+        expected = {o.oid for o in brute_force_range(medium_objects_2d, query)}
+        assert {o.oid for o in tree.range_query(query)} == expected
+
+    def test_bulk_load_sets_lhv(self, small_objects_2d):
+        tree = HilbertRTree.bulk_load(small_objects_2d, max_entries=8)
+        for node in tree.nodes():
+            assert node.lhv is not None
+
+    def test_leaf_fill_parameter(self, medium_objects_2d):
+        packed = HilbertRTree.bulk_load(medium_objects_2d, max_entries=10, leaf_fill=1.0)
+        loose = HilbertRTree.bulk_load(medium_objects_2d, max_entries=10, leaf_fill=0.6)
+        assert loose.leaf_count() > packed.leaf_count()
+
+    def test_invalid_leaf_fill_rejected(self, small_objects_2d):
+        with pytest.raises(ValueError):
+            HilbertRTree.bulk_load(small_objects_2d, max_entries=8, leaf_fill=0.0)
+
+    def test_bulk_load_empty_rejected(self):
+        with pytest.raises(ValueError):
+            HilbertRTree.bulk_load([], max_entries=8)
+
+    def test_hilbert_clustering_beats_random_insertion_order(self):
+        """Hilbert packing should produce nodes with little overlap."""
+        from repro.metrics.overlap import average_overlap
+
+        objects = make_random_objects(600, seed=8)
+        tree = HilbertRTree.bulk_load(objects, max_entries=16)
+        assert average_overlap(tree, internal_only=False) < 0.25
+
+
+class TestStrBulkLoad:
+    def test_str_invariants_and_correctness(self, medium_objects_2d):
+        tree = str_bulk_load(medium_objects_2d, max_entries=10)
+        tree.check_invariants()
+        query = Rect((5, 5), (60, 60))
+        expected = {o.oid for o in brute_force_range(medium_objects_2d, query)}
+        assert {o.oid for o in tree.range_query(query)} == expected
+
+    def test_str_3d(self, small_objects_3d):
+        tree = str_bulk_load(small_objects_3d, max_entries=8)
+        tree.check_invariants()
+
+    def test_str_empty_rejected(self):
+        with pytest.raises(ValueError):
+            str_bulk_load([])
+
+    def test_str_updatable_after_bulk_load(self, small_objects_2d):
+        tree = str_bulk_load(small_objects_2d, max_entries=8)
+        extra = make_random_objects(30, seed=42)
+        for obj in extra:
+            tree.insert(obj)
+        tree.check_invariants()
+        assert len(tree) == len(small_objects_2d) + 30

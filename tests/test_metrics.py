@@ -1,0 +1,112 @@
+"""Tests for the measurement helpers (dead space, overlap, I/O optimality, storage)."""
+
+import pytest
+
+from repro.geometry.objects import SpatialObject
+from repro.geometry.rect import Rect
+from repro.metrics.dead_space import average_dead_space, clipped_dead_space_summary, node_dead_space
+from repro.metrics.io_optimality import io_optimality
+from repro.metrics.node_stats import tree_stats
+from repro.metrics.overlap import average_overlap, multi_covered_volume, node_overlap
+from repro.metrics.storage_breakdown import storage_breakdown_percent
+from repro.query.workload import RangeQueryWorkload
+from repro.rtree.clipped import ClippedRTree
+from repro.rtree.entry import Entry
+from repro.rtree.node import Node
+from repro.rtree.registry import build_rtree
+from tests.conftest import make_random_objects
+
+
+def _leaf(rects):
+    node = Node(0, level=0)
+    node.entries = [Entry(r, SpatialObject(i, r)) for i, r in enumerate(rects)]
+    return node
+
+
+class TestDeadSpace:
+    def test_node_dead_space_simple(self):
+        node = _leaf([Rect((0, 0), (1, 2)), Rect((1, 0), (2, 2))])
+        assert node_dead_space(node) == pytest.approx(0.0)
+        half_empty = _leaf([Rect((0, 0), (1, 2)), Rect((3, 0), (4, 2))])
+        assert half_empty.mbb() == Rect((0, 0), (4, 2))
+        assert node_dead_space(half_empty) == pytest.approx(0.5)
+
+    def test_empty_node(self):
+        assert node_dead_space(Node(0, level=0)) == 0.0
+
+    def test_average_dead_space_filters(self):
+        objects = make_random_objects(300, seed=71)
+        tree = build_rtree("rstar", objects, max_entries=10)
+        overall = average_dead_space(tree)
+        leaves = average_dead_space(tree, leaves_only=True)
+        internal = average_dead_space(tree, internal_only=True)
+        assert 0.0 <= overall <= 1.0
+        assert 0.0 <= leaves <= 1.0
+        assert 0.0 <= internal <= 1.0
+        with pytest.raises(ValueError):
+            average_dead_space(tree, leaves_only=True, internal_only=True)
+
+    def test_clipped_summary_consistency(self):
+        objects = make_random_objects(300, seed=72)
+        tree = build_rtree("rstar", objects, max_entries=10)
+        clipped = ClippedRTree.wrap(tree, method="stairline")
+        summary = clipped_dead_space_summary(clipped)
+        assert summary.clipped <= summary.dead_space + 1e-9
+        assert summary.remaining == pytest.approx(summary.dead_space - summary.clipped, abs=1e-9)
+        assert 0.0 <= summary.clipped_share_of_dead_space <= 1.0
+
+
+class TestOverlap:
+    def test_multi_covered_volume(self):
+        rects = [Rect((0, 0), (2, 2)), Rect((1, 1), (3, 3)), Rect((10, 10), (11, 11))]
+        assert multi_covered_volume(rects) == pytest.approx(1.0)
+
+    def test_multi_covered_needs_two_rects(self):
+        assert multi_covered_volume([Rect((0, 0), (5, 5))]) == 0.0
+        assert multi_covered_volume([]) == 0.0
+
+    def test_triple_overlap_counted_once(self):
+        rects = [Rect((0, 0), (2, 2))] * 3
+        assert multi_covered_volume(rects) == pytest.approx(4.0)
+
+    def test_node_overlap(self):
+        node = _leaf([Rect((0, 0), (2, 2)), Rect((1, 1), (3, 3))])
+        # MBB is 3x3 = 9; overlap region is 1.
+        assert node_overlap(node) == pytest.approx(1.0 / 9.0)
+        disjoint = _leaf([Rect((0, 0), (1, 1)), Rect((2, 2), (3, 3))])
+        assert node_overlap(disjoint) == 0.0
+
+    def test_average_overlap_range(self):
+        objects = make_random_objects(300, seed=73)
+        tree = build_rtree("quadratic", objects, max_entries=10)
+        assert 0.0 <= average_overlap(tree) <= 1.0
+        assert 0.0 <= average_overlap(tree, internal_only=False) <= 1.0
+
+
+class TestIoOptimalityAndStats:
+    def test_io_optimality_bounds(self):
+        objects = make_random_objects(400, seed=74)
+        tree = build_rtree("rrstar", objects, max_entries=10)
+        workload = RangeQueryWorkload.from_objects(objects, target_results=3, seed=1)
+        value = io_optimality(tree, workload.query_list(30))
+        assert 0.0 < value <= 1.0
+
+    def test_tree_stats(self):
+        objects = make_random_objects(300, seed=75)
+        tree = build_rtree("rstar", objects, max_entries=10)
+        stats = tree_stats(tree)
+        assert stats.size == 300
+        assert stats.leaf_count + stats.internal_count == stats.node_count
+        assert 0.0 < stats.avg_leaf_fill <= 1.0
+        row = stats.as_row()
+        assert row["objects"] == 300
+        assert row["variant"] == "rstar"
+
+    def test_storage_breakdown_percent_sums_to_100(self):
+        objects = make_random_objects(400, seed=76)
+        tree = build_rtree("rrstar", objects, max_entries=10)
+        clipped = ClippedRTree.wrap(tree, method="stairline")
+        breakdown = storage_breakdown_percent(clipped)
+        total = breakdown["dir_nodes"] + breakdown["leaf_nodes"] + breakdown["clip_points"]
+        assert total == pytest.approx(100.0)
+        assert breakdown["avg_clip_points"] >= 0.0

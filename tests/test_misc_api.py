@@ -1,0 +1,72 @@
+"""Small API-surface tests: labels, reporting helpers, package exports."""
+
+import pytest
+
+import repro
+from repro.bench.reporting import format_table, percent
+from repro.cbb.clip_point import ClipPoint
+from repro.cbb.intersection import QUERY_SELECTOR_ALL_DIMS, clipped_intersects
+from repro.cbb.clipping import VALID_METHODS
+from repro.datasets.registry import DATASET_NAMES
+from repro.geometry.rect import Rect
+from repro.rtree.registry import VARIANT_LABELS, VARIANT_NAMES
+
+
+class TestPackageSurface:
+    def test_version_and_top_level_exports(self):
+        assert repro.__version__
+        assert repro.Rect is Rect
+        assert "SpatialObject" in repro.__all__
+
+    def test_variant_labels_cover_all_variants(self):
+        assert set(VARIANT_LABELS) == set(VARIANT_NAMES)
+        assert VARIANT_LABELS["rrstar"] == "RR*-tree"
+
+    def test_dataset_names_match_paper_order(self):
+        assert DATASET_NAMES[0] == "par02"
+        assert len(DATASET_NAMES) == 7
+
+    def test_valid_clipping_methods(self):
+        assert set(VALID_METHODS) == {"skyline", "stairline"}
+
+
+class TestReportingHelpers:
+    def test_percent(self):
+        assert percent(0.5) == 50.0
+        assert percent(0.12345) == pytest.approx(12.3)
+
+    def test_format_table_column_selection(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert "c" in header and "a" in header and "b" not in header
+
+    def test_format_table_handles_missing_keys(self):
+        rows = [{"a": 1}, {"a": 2, "b": "x"}]
+        text = format_table(rows, columns=["a", "b"])
+        assert text.count("\n") == 1 + 2  # header + separator + two rows - 1
+
+    def test_format_table_float_formatting(self):
+        text = format_table([{"v": 3.14159}])
+        assert "3.14" in text
+
+
+class TestSelectorSemantics:
+    def test_query_selector_sentinel_resolves_per_dimensionality(self):
+        # A clip on the max corner of a 3d box: a query hugging the
+        # opposite corner must not be pruned, one inside the clipped
+        # corner must be.
+        mbb = Rect((0, 0, 0), (10, 10, 10))
+        clip = ClipPoint((7.0, 7.0, 7.0), 0b111, score=27.0)
+        near_origin = Rect((0, 0, 0), (1, 1, 1))
+        in_corner = Rect((8, 8, 8), (9, 9, 9))
+        assert clipped_intersects(mbb, [clip], near_origin, selector=QUERY_SELECTOR_ALL_DIMS)
+        assert not clipped_intersects(mbb, [clip], in_corner, selector=QUERY_SELECTOR_ALL_DIMS)
+
+    def test_explicit_selector_matches_sentinel(self):
+        mbb = Rect((0, 0), (10, 10))
+        clip = ClipPoint((6.0, 6.0), 0b11, score=16.0)
+        query = Rect((7, 7), (8, 8))
+        assert clipped_intersects(mbb, [clip], query, selector=0b11) == clipped_intersects(
+            mbb, [clip], query, selector=QUERY_SELECTOR_ALL_DIMS
+        )

@@ -1,0 +1,118 @@
+"""Property-based tests for skyline/stairline clipping and query correctness.
+
+These are the invariants the paper's correctness rests on:
+
+1. clip points never clip away space occupied by an object;
+2. a query that intersects an object is never pruned by the clipped
+   intersection test (no false negatives);
+3. clipped and unclipped R-trees return identical query results.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cbb.clipping import ClippingConfig, compute_clip_points
+from repro.cbb.intersection import clipped_intersects
+from repro.geometry.dominance import dominates
+from repro.geometry.objects import SpatialObject
+from repro.geometry.rect import Rect, mbb_of_rects
+from repro.skyline.skyline import oriented_skyline
+
+coord = st.floats(min_value=0, max_value=100, allow_nan=False, allow_infinity=False, width=32)
+
+
+@st.composite
+def small_rects(draw, dims):
+    low = [draw(coord) for _ in range(dims)]
+    extent = [draw(st.floats(min_value=0.0, max_value=10.0, allow_nan=False, width=32)) for _ in range(dims)]
+    return Rect(low, [lo + e for lo, e in zip(low, extent)])
+
+
+@st.composite
+def rect_groups(draw, dims=2):
+    count = draw(st.integers(min_value=2, max_value=12))
+    return [draw(small_rects(dims)) for _ in range(count)]
+
+
+class TestSkylineProperties:
+    @given(st.lists(st.tuples(coord, coord), min_size=1, max_size=30), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=80)
+    def test_skyline_members_not_dominated(self, points, mask):
+        skyline = oriented_skyline(points, mask)
+        assert skyline
+        for p in skyline:
+            assert not any(dominates(q, p, mask) for q in points)
+
+    @given(st.lists(st.tuples(coord, coord), min_size=1, max_size=30), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=80)
+    def test_every_point_dominated_by_some_skyline_member_or_in_it(self, points, mask):
+        skyline = set(oriented_skyline(points, mask))
+        for p in points:
+            assert p in skyline or any(dominates(s, p, mask) for s in skyline)
+
+
+class TestClippingProperties:
+    @given(rect_groups(dims=2), st.sampled_from(["skyline", "stairline"]))
+    @settings(max_examples=60, deadline=None)
+    def test_clip_regions_never_cover_children_2d(self, children, method):
+        mbb = mbb_of_rects(children)
+        clips = compute_clip_points(mbb, children, ClippingConfig(method=method, tau=0.0))
+        for clip in clips:
+            region = clip.region(mbb)
+            for child in children:
+                assert region.intersection_volume(child) <= 1e-7
+
+    @given(rect_groups(dims=3), st.sampled_from(["skyline", "stairline"]))
+    @settings(max_examples=30, deadline=None)
+    def test_clip_regions_never_cover_children_3d(self, children, method):
+        mbb = mbb_of_rects(children)
+        clips = compute_clip_points(mbb, children, ClippingConfig(method=method, tau=0.0))
+        for clip in clips:
+            region = clip.region(mbb)
+            for child in children:
+                assert region.intersection_volume(child) <= 1e-6
+
+    @given(rect_groups(dims=2), small_rects(2))
+    @settings(max_examples=80, deadline=None)
+    def test_no_false_negatives_for_queries(self, children, query):
+        mbb = mbb_of_rects(children)
+        clips = compute_clip_points(mbb, children, ClippingConfig(method="stairline", tau=0.0))
+        touches_object = any(query.intersects(child) for child in children)
+        if touches_object:
+            assert clipped_intersects(mbb, clips, query)
+
+    @given(rect_groups(dims=2))
+    @settings(max_examples=40, deadline=None)
+    def test_scores_positive_and_sorted(self, children):
+        mbb = mbb_of_rects(children)
+        clips = compute_clip_points(mbb, children, ClippingConfig(method="stairline", tau=0.01))
+        scores = [c.score for c in clips]
+        assert scores == sorted(scores, reverse=True)
+        node_volume = mbb.volume()
+        assert all(s > 0.01 * node_volume for s in scores)
+
+
+class TestEndToEndEquivalence:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_clipped_tree_equals_plain_tree_on_random_workloads(self, seed):
+        from repro.rtree.clipped import ClippedRTree
+        from repro.rtree.registry import build_rtree
+
+        rng = random.Random(seed)
+        objects = []
+        for i in range(rng.randint(30, 120)):
+            low = (rng.uniform(0, 50), rng.uniform(0, 50))
+            high = (low[0] + rng.uniform(0, 5), low[1] + rng.uniform(0, 5))
+            objects.append(SpatialObject(i, Rect(low, high)))
+        variant = rng.choice(["quadratic", "hilbert", "rstar", "rrstar"])
+        tree = build_rtree(variant, objects, max_entries=rng.choice([4, 6, 10]))
+        clipped = ClippedRTree.wrap(tree, method=rng.choice(["skyline", "stairline"]))
+        for _ in range(15):
+            cx, cy = rng.uniform(-5, 55), rng.uniform(-5, 55)
+            size = rng.uniform(0.1, 20)
+            query = Rect((cx, cy), (cx + size, cy + size))
+            expected = {o.oid for o in objects if o.rect.intersects(query)}
+            assert {o.oid for o in clipped.range_query(query)} == expected
+            assert {o.oid for o in tree.range_query(query)} == expected

@@ -1,0 +1,154 @@
+"""Tests for the clipped R-tree wrapper: queries, updates, and statistics."""
+
+import random
+
+import pytest
+
+from repro.cbb.clipping import ClippingConfig
+from repro.geometry.rect import Rect
+from repro.query.range_query import brute_force_range, execute_workload
+from repro.query.workload import RangeQueryWorkload
+from repro.rtree.clipped import ClippedRTree, ReclipCause, UpdateReport
+from repro.rtree.registry import VARIANT_NAMES, build_rtree
+from repro.storage.stats import IOStats
+from tests.conftest import make_random_objects
+
+
+@pytest.fixture(params=VARIANT_NAMES)
+def variant(request):
+    return request.param
+
+
+class TestClippedQueries:
+    def test_results_identical_to_unclipped(self, variant, medium_objects_2d):
+        tree = build_rtree(variant, medium_objects_2d, max_entries=10)
+        clipped = ClippedRTree.wrap(tree, method="stairline")
+        rng = random.Random(3)
+        for _ in range(30):
+            cx, cy = rng.uniform(0, 100), rng.uniform(0, 100)
+            size = rng.uniform(0.5, 15)
+            query = Rect((cx, cy), (cx + size, cy + size))
+            expected = {o.oid for o in brute_force_range(medium_objects_2d, query)}
+            assert {o.oid for o in clipped.range_query(query)} == expected
+
+    def test_clipping_never_increases_leaf_accesses(self, variant, medium_objects_2d):
+        tree = build_rtree(variant, medium_objects_2d, max_entries=10)
+        clipped = ClippedRTree.wrap(tree, method="stairline")
+        workload = RangeQueryWorkload.from_objects(medium_objects_2d, target_results=5, seed=2)
+        queries = workload.query_list(40)
+        for query in queries:
+            plain_stats, clip_stats = IOStats(), IOStats()
+            tree.range_query(query, stats=plain_stats)
+            clipped.range_query(query, stats=clip_stats)
+            assert clip_stats.leaf_accesses <= plain_stats.leaf_accesses
+
+    def test_clipping_reduces_io_on_sparse_data(self):
+        """Long skinny boxes leave lots of clippable dead space."""
+        from repro.datasets import NeuriteGenerator
+
+        objects = NeuriteGenerator(kind="axon", extent=500.0).generate(800, seed=9)
+        tree = build_rtree("rstar", objects, max_entries=16)
+        clipped = ClippedRTree.wrap(tree, method="stairline")
+        workload = RangeQueryWorkload.from_objects(objects, target_results=2, seed=3)
+        queries = workload.query_list(60)
+        plain = execute_workload(tree, queries)
+        fast = execute_workload(clipped, queries)
+        assert fast.avg_leaf_accesses < plain.avg_leaf_accesses
+
+    def test_wrap_clips_every_clippable_node(self, medium_objects_2d):
+        tree = build_rtree("rstar", medium_objects_2d, max_entries=10)
+        clipped = ClippedRTree.wrap(tree, method="stairline", tau=0.0)
+        assert len(clipped.store) > 0
+        assert clipped.average_clip_points() > 0.0
+        clipped.check_clip_invariants()
+
+    def test_skyline_stores_no_more_points_than_stairline(self, medium_objects_2d):
+        tree = build_rtree("rstar", medium_objects_2d, max_entries=10)
+        sky = ClippedRTree.wrap(tree, method="skyline")
+        sta = ClippedRTree.wrap(tree, method="stairline")
+        assert sky.store.total_clip_points() <= sta.store.total_clip_points()
+
+    def test_count_query(self, medium_objects_2d):
+        tree = build_rtree("quadratic", medium_objects_2d, max_entries=10)
+        clipped = ClippedRTree.wrap(tree)
+        query = Rect((0, 0), (50, 50))
+        assert clipped.count_query(query) == len(brute_force_range(medium_objects_2d, query))
+
+    def test_storage_breakdown(self, medium_objects_2d):
+        tree = build_rtree("rstar", medium_objects_2d, max_entries=10)
+        clipped = ClippedRTree.wrap(tree, method="stairline")
+        breakdown = clipped.storage_breakdown()
+        assert breakdown["leaf_nodes"] > 0
+        assert breakdown["dir_nodes"] > 0
+        assert breakdown["clip_points"] > 0
+        assert breakdown["clip_points"] < breakdown["leaf_nodes"]
+
+
+class TestClippedUpdates:
+    def test_insert_keeps_results_correct(self, variant):
+        objects = make_random_objects(260, seed=13)
+        initial, extra = objects[:200], objects[200:]
+        tree = build_rtree(variant, initial, max_entries=8)
+        clipped = ClippedRTree.wrap(tree, method="stairline")
+        for obj in extra:
+            report = clipped.insert(obj)
+            assert isinstance(report, UpdateReport)
+        tree.check_invariants()
+        clipped.check_clip_invariants()
+        query = Rect((0, 0), (100, 100))
+        assert {o.oid for o in clipped.range_query(query)} == {o.oid for o in objects}
+
+    def test_delete_keeps_results_correct(self, variant):
+        objects = make_random_objects(220, seed=17)
+        tree = build_rtree(variant, objects, max_entries=8)
+        clipped = ClippedRTree.wrap(tree, method="stairline")
+        victims = objects[::3]
+        for victim in victims:
+            clipped.delete(victim)
+        tree.check_invariants()
+        clipped.check_clip_invariants()
+        remaining = [o for o in objects if o not in set(victims)]
+        query = Rect((0, 0), (100, 100))
+        assert {o.oid for o in clipped.range_query(query)} == {o.oid for o in remaining}
+
+    def test_delete_missing_object_is_noop(self, small_objects_2d):
+        tree = build_rtree("quadratic", small_objects_2d, max_entries=8)
+        clipped = ClippedRTree.wrap(tree)
+        ghost = make_random_objects(1, seed=555)[0]
+        report = clipped.delete(ghost)
+        assert report.count() == 0
+
+    def test_update_report_counts(self):
+        report = UpdateReport(reclips=[(1, ReclipCause.NODE_SPLIT), (2, ReclipCause.MBB_CHANGE)])
+        assert report.count() == 2
+        assert report.count(ReclipCause.NODE_SPLIT) == 1
+        counts = report.counts_by_cause()
+        assert counts[ReclipCause.NODE_SPLIT] == 1
+        assert counts[ReclipCause.CBB_ONLY] == 0
+
+    def test_reclip_rate_below_worst_case(self):
+        """§IV-D: far fewer than one CBB-only re-clip per insertion."""
+        objects = make_random_objects(400, seed=19)
+        initial, extra = objects[:320], objects[320:]
+        tree = build_rtree("rrstar", initial, max_entries=10)
+        clipped = ClippedRTree.wrap(tree, method="stairline")
+        cbb_only = 0
+        for obj in extra:
+            cbb_only += clipped.insert(obj).count(ReclipCause.CBB_ONLY)
+        assert cbb_only / len(extra) < 1.0
+
+    def test_removed_nodes_are_dropped_from_store(self):
+        objects = make_random_objects(200, seed=23)
+        tree = build_rtree("quadratic", objects, max_entries=8)
+        clipped = ClippedRTree.wrap(tree, method="stairline", tau=0.0)
+        for obj in objects[:150]:
+            clipped.delete(obj)
+        for node_id, _ in clipped.store.items():
+            assert tree.has_node(node_id)
+
+    def test_custom_config_respected(self, small_objects_2d):
+        tree = build_rtree("quadratic", small_objects_2d, max_entries=8)
+        clipped = ClippedRTree(tree, ClippingConfig(method="skyline", k=1, tau=0.0))
+        clipped.clip_all()
+        for _, clips in clipped.store.items():
+            assert len(clips) <= 1

@@ -1,0 +1,143 @@
+"""Tests for node/entry internals and the base-tree plumbing."""
+
+import pytest
+
+from repro.geometry.objects import SpatialObject
+from repro.geometry.rect import Rect
+from repro.rtree.base import InsertResult, RTreeBase
+from repro.rtree.entry import Entry
+from repro.rtree.node import Node
+from repro.rtree.quadratic import QuadraticRTree
+from tests.conftest import make_random_objects
+
+
+class TestEntryAndNode:
+    def test_entry_kinds(self):
+        rect = Rect((0, 0), (1, 1))
+        node_entry = Entry(rect, 7)
+        object_entry = Entry(rect, SpatialObject(3, rect))
+        assert node_entry.is_node_pointer
+        assert not object_entry.is_node_pointer
+
+    def test_node_mbb_and_child_rects(self):
+        node = Node(0, level=0)
+        rects = [Rect((0, 0), (1, 1)), Rect((2, 2), (4, 3))]
+        node.entries = [Entry(r, SpatialObject(i, r)) for i, r in enumerate(rects)]
+        assert node.mbb() == Rect((0, 0), (4, 3))
+        assert node.child_rects() == rects
+        assert len(node) == 2
+
+    def test_empty_node_mbb_raises(self):
+        with pytest.raises(ValueError):
+            Node(0, level=0).mbb()
+
+    def test_find_child_entry(self):
+        node = Node(0, level=1)
+        node.entries = [Entry(Rect((0, 0), (1, 1)), 5), Entry(Rect((2, 2), (3, 3)), 9)]
+        assert node.find_child_entry(9).child == 9
+        assert node.find_child_entry(77) is None
+
+    def test_is_leaf_and_repr(self):
+        leaf, directory = Node(1, level=0), Node(2, level=2)
+        assert leaf.is_leaf and not directory.is_leaf
+        assert "leaf" in repr(leaf)
+        assert "level=2" in repr(directory)
+
+    def test_insert_result_record_added(self):
+        result = InsertResult()
+        rect = Rect((0, 0), (1, 1))
+        result.record_added(4, rect)
+        result.record_added(4, rect)
+        assert result.added_rects == {4: [rect, rect]}
+
+
+class TestBaseTreePlumbing:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            QuadraticRTree(dims=0)
+        with pytest.raises(ValueError):
+            QuadraticRTree(dims=2, max_entries=1)
+
+    def test_min_entries_defaults_to_40_percent(self):
+        tree = QuadraticRTree(dims=2, max_entries=10)
+        assert tree.min_entries == 4
+        custom = QuadraticRTree(dims=2, max_entries=10, min_entries=3)
+        assert custom.min_entries == 3
+
+    def test_oversized_min_entries_is_corrected(self):
+        tree = QuadraticRTree(dims=2, max_entries=10, min_entries=9)
+        assert tree.min_entries <= tree.max_entries // 2
+
+    def test_empty_tree_queries(self):
+        tree = QuadraticRTree(dims=2, max_entries=4)
+        assert len(tree) == 0
+        assert tree.range_query(Rect((0, 0), (10, 10))) == []
+        assert tree.height == 1
+        tree.check_invariants()
+
+    def test_root_grows_and_shrinks(self):
+        tree = QuadraticRTree(dims=2, max_entries=4, min_entries=2)
+        objects = make_random_objects(40, seed=51)
+        for obj in objects:
+            tree.insert(obj)
+        assert tree.height >= 2
+        for obj in objects:
+            tree.delete(obj)
+        assert len(tree) == 0
+        assert tree.height == 1
+        tree.check_invariants()
+
+    def test_base_hooks_are_abstract(self):
+        tree = RTreeBase(dims=2, max_entries=4)
+        node = Node(99, level=1)
+        with pytest.raises(NotImplementedError):
+            tree._choose_subtree(node, Rect((0, 0), (1, 1)))
+        with pytest.raises(NotImplementedError):
+            tree._split(node)
+
+    def test_check_invariants_detects_stale_parent_rect(self):
+        tree = QuadraticRTree(dims=2, max_entries=4, min_entries=2)
+        for obj in make_random_objects(30, seed=52):
+            tree.insert(obj)
+        root = tree.root
+        assert not root.is_leaf
+        # Corrupt one parent rectangle on purpose.
+        root.entries[0].rect = Rect((-1000, -1000), (-999, -999))
+        with pytest.raises(AssertionError):
+            tree.check_invariants()
+
+    def test_check_invariants_detects_wrong_size(self):
+        tree = QuadraticRTree(dims=2, max_entries=4, min_entries=2)
+        for obj in make_random_objects(10, seed=53):
+            tree.insert(obj)
+        tree._size = 99
+        with pytest.raises(AssertionError):
+            tree.check_invariants()
+
+    def test_pack_level_respects_min_fill(self):
+        tree = QuadraticRTree(dims=2, max_entries=4, min_entries=2)
+        del tree._nodes[tree.root_id]
+        leaves = []
+        objects = make_random_objects(33, seed=54)
+        for start in range(0, 33, 3):
+            leaf = tree._new_node(level=0)
+            leaf.entries = [Entry(o.rect, o) for o in objects[start : start + 3]]
+            leaves.append(leaf)
+        root = tree._pack_level(leaves, level=0)
+        tree._adopt_structure(root.node_id, len(objects))
+        for node in tree.internal_nodes():
+            if node.node_id != tree.root_id:
+                assert len(node.entries) >= tree.min_entries
+
+    def test_objects_iterator_matches_size(self):
+        tree = QuadraticRTree(dims=2, max_entries=4, min_entries=2)
+        objects = make_random_objects(25, seed=55)
+        for obj in objects:
+            tree.insert(obj)
+        assert sorted(o.oid for o in tree.objects()) == sorted(o.oid for o in objects)
+
+    def test_has_node_and_node_lookup(self):
+        tree = QuadraticRTree(dims=2, max_entries=4)
+        assert tree.has_node(tree.root_id)
+        assert not tree.has_node(12345)
+        assert tree.node(tree.root_id) is tree.root

@@ -1,0 +1,154 @@
+"""Behavioural tests shared by all four R-tree variants."""
+
+import random
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.query.range_query import brute_force_range
+from repro.rtree.registry import VARIANT_NAMES, build_rtree, canonical_variant, rtree_class
+from repro.storage.stats import IOStats
+from tests.conftest import make_random_objects
+
+
+@pytest.fixture(params=VARIANT_NAMES)
+def variant(request):
+    return request.param
+
+
+class TestBuildAndQuery:
+    def test_structural_invariants_after_build(self, variant, medium_objects_2d):
+        tree = build_rtree(variant, medium_objects_2d, max_entries=10)
+        tree.check_invariants()
+        assert len(tree) == len(medium_objects_2d)
+        assert tree.height >= 2
+        assert tree.leaf_count() >= len(medium_objects_2d) // 10
+
+    def test_all_objects_reachable(self, variant, small_objects_2d):
+        tree = build_rtree(variant, small_objects_2d, max_entries=8)
+        indexed = sorted(obj.oid for obj in tree.objects())
+        assert indexed == sorted(obj.oid for obj in small_objects_2d)
+
+    def test_range_query_matches_linear_scan(self, variant, medium_objects_2d):
+        tree = build_rtree(variant, medium_objects_2d, max_entries=10)
+        rng = random.Random(7)
+        for _ in range(25):
+            cx, cy = rng.uniform(0, 100), rng.uniform(0, 100)
+            size = rng.uniform(1, 20)
+            query = Rect((cx, cy), (cx + size, cy + size))
+            expected = {o.oid for o in brute_force_range(medium_objects_2d, query)}
+            actual = {o.oid for o in tree.range_query(query)}
+            assert actual == expected
+
+    def test_range_query_counts_io(self, variant, medium_objects_2d):
+        tree = build_rtree(variant, medium_objects_2d, max_entries=10)
+        stats = IOStats()
+        tree.range_query(Rect((0, 0), (100, 100)), stats=stats)
+        assert stats.leaf_accesses == tree.leaf_count()
+        assert stats.contributing_leaf_accesses == tree.leaf_count()
+
+    def test_empty_query_region(self, variant, small_objects_2d):
+        tree = build_rtree(variant, small_objects_2d, max_entries=8)
+        assert tree.range_query(Rect((1000, 1000), (1001, 1001))) == []
+
+    def test_3d_support(self, variant, small_objects_3d):
+        tree = build_rtree(variant, small_objects_3d, max_entries=8)
+        tree.check_invariants()
+        query = Rect((0, 0, 0), (100, 100, 100))
+        assert len(tree.range_query(query)) == len(small_objects_3d)
+
+
+class TestInsertions:
+    def test_incremental_inserts_preserve_invariants(self, variant):
+        objects = make_random_objects(150, seed=11)
+        cls = rtree_class(variant)
+        if variant == "hilbert":
+            tree = build_rtree(variant, objects[:50], max_entries=8)
+        else:
+            tree = cls(dims=2, max_entries=8)
+            for obj in objects[:50]:
+                tree.insert(obj)
+        for obj in objects[50:]:
+            tree.insert(obj)
+        tree.check_invariants()
+        assert len(tree) == len(objects)
+        query = Rect((0, 0), (100, 100))
+        assert len(tree.range_query(query)) == len(objects)
+
+    def test_insert_reports_leaf(self, variant, small_objects_2d):
+        tree = build_rtree(variant, small_objects_2d, max_entries=8)
+        new_obj = make_random_objects(1, seed=99)[0]
+        result = tree.insert(new_obj)
+        assert result.leaf_id is not None
+        assert tree.node(result.leaf_id).is_leaf
+
+    def test_insert_dimension_mismatch_rejected(self, variant, small_objects_2d):
+        tree = build_rtree(variant, small_objects_2d, max_entries=8)
+        bad = make_random_objects(1, dims=3, seed=1)[0]
+        with pytest.raises(ValueError):
+            tree.insert(bad)
+
+
+class TestDeletions:
+    def test_delete_removes_object(self, variant, medium_objects_2d):
+        tree = build_rtree(variant, medium_objects_2d, max_entries=10)
+        victim = medium_objects_2d[37]
+        result = tree.delete(victim)
+        assert result.found
+        assert len(tree) == len(medium_objects_2d) - 1
+        assert victim.oid not in {o.oid for o in tree.range_query(victim.rect)}
+        tree.check_invariants()
+
+    def test_delete_missing_object(self, variant, small_objects_2d):
+        tree = build_rtree(variant, small_objects_2d, max_entries=8)
+        ghost = make_random_objects(1, seed=123)[0]
+        result = tree.delete(ghost)
+        assert not result.found
+        assert len(tree) == len(small_objects_2d)
+
+    def test_delete_many_keeps_correctness(self, variant):
+        objects = make_random_objects(200, seed=21)
+        tree = build_rtree(variant, objects, max_entries=8)
+        rng = random.Random(5)
+        victims = rng.sample(objects, 120)
+        for victim in victims:
+            assert tree.delete(victim).found
+        tree.check_invariants()
+        remaining = [o for o in objects if o not in set(victims)]
+        query = Rect((0, 0), (100, 100))
+        assert {o.oid for o in tree.range_query(query)} == {o.oid for o in remaining}
+
+    def test_delete_down_to_empty(self, variant, small_objects_2d):
+        tree = build_rtree(variant, small_objects_2d, max_entries=8)
+        for obj in small_objects_2d:
+            assert tree.delete(obj).found
+        assert len(tree) == 0
+        assert tree.range_query(Rect((0, 0), (100, 100))) == []
+
+
+class TestRegistry:
+    def test_aliases_resolve(self):
+        assert canonical_variant("QR") == "quadratic"
+        assert canonical_variant("r*") == "rstar"
+        assert canonical_variant("RR*") == "rrstar"
+        assert canonical_variant("HR-Tree".replace("Tree", "")) == "hilbert"
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_variant("kd-tree")
+        with pytest.raises(ValueError):
+            build_rtree("kd-tree", make_random_objects(5))
+
+    def test_empty_objects_rejected(self):
+        with pytest.raises(ValueError):
+            build_rtree("rstar", [])
+
+    def test_default_capacity_from_page_layout(self, small_objects_2d):
+        tree = build_rtree("quadratic", small_objects_2d)
+        assert tree.max_entries == (4096 - 16) // 40
+
+    def test_str_bulk_load_via_registry(self, medium_objects_2d):
+        tree = build_rtree("str", medium_objects_2d, max_entries=10)
+        tree.check_invariants()
+        query = Rect((0, 0), (100, 100))
+        assert len(tree.range_query(query)) == len(medium_objects_2d)

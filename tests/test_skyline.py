@@ -1,0 +1,64 @@
+"""Unit tests for the oriented skyline (Definition 5)."""
+
+from repro.geometry.dominance import dominates
+from repro.skyline.skyline import oriented_skyline, oriented_skyline_indices
+
+
+class TestOrientedSkyline:
+    def test_paper_figure2_skyline(self, figure2_objects):
+        # For corner R^00, the skyline consists of o1..o4; o5 is dominated
+        # by o3 and o4 (paper, §III-B).
+        corners = [obj.rect.corner(0b00) for obj in figure2_objects]
+        skyline = set(oriented_skyline(corners, 0b00))
+        assert corners[4] not in skyline
+        assert {corners[0], corners[1], corners[2], corners[3]} == skyline
+
+    def test_single_point(self):
+        assert oriented_skyline([(1.0, 2.0)], 0b11) == [(1.0, 2.0)]
+
+    def test_duplicates_reported_once(self):
+        points = [(1.0, 1.0), (1.0, 1.0), (2.0, 0.5)]
+        skyline = oriented_skyline(points, 0b00)
+        assert skyline.count((1.0, 1.0)) == 1
+
+    def test_totally_ordered_chain(self):
+        # Points on a diagonal: only the one closest to the corner survives.
+        points = [(i, i) for i in range(5)]
+        assert oriented_skyline(points, 0b00) == [(0, 0)]
+        assert oriented_skyline(points, 0b11) == [(4, 4)]
+
+    def test_anti_chain_all_kept(self):
+        points = [(0, 4), (1, 3), (2, 2), (3, 1), (4, 0)]
+        for mask in (0b00, 0b11):
+            assert len(oriented_skyline(points, mask)) == len(points)
+
+    def test_no_skyline_point_dominated(self):
+        import random
+
+        rng = random.Random(3)
+        points = [(rng.uniform(0, 10), rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(60)]
+        for mask in range(8):
+            skyline = oriented_skyline(points, mask)
+            assert skyline, "a non-empty set always has a skyline"
+            for p in skyline:
+                assert not any(dominates(q, p, mask) for q in points)
+
+    def test_non_skyline_points_are_dominated(self):
+        import random
+
+        rng = random.Random(4)
+        points = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(40)]
+        for mask in range(4):
+            indices = set(oriented_skyline_indices(points, mask))
+            for i, p in enumerate(points):
+                if i in indices:
+                    continue
+                assert any(dominates(q, p, mask) for j, q in enumerate(points) if j != i) or any(
+                    points[j] == p for j in indices
+                )
+
+    def test_indices_refer_to_input_positions(self):
+        points = [(5.0, 5.0), (0.0, 0.0), (6.0, 1.0)]
+        indices = oriented_skyline_indices(points, 0b00)
+        assert 1 in indices
+        assert all(points[i] in points for i in indices)

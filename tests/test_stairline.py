@@ -1,0 +1,81 @@
+"""Unit tests for splice points and stairlines (Definitions 6 and 7)."""
+
+from repro.geometry.dominance import strictly_inside_corner_region
+from repro.geometry.rect import mbb_of_rects
+from repro.skyline.skyline import oriented_skyline
+from repro.skyline.stairline import splice_point, stairline_points
+
+
+class TestSplicePoint:
+    def test_max_mask_takes_maxima(self):
+        assert splice_point((1, 5), (3, 2), 0b11) == (3, 5)
+
+    def test_min_mask_takes_minima(self):
+        assert splice_point((1, 5), (3, 2), 0b00) == (1, 2)
+
+    def test_mixed_mask(self):
+        assert splice_point((1, 5), (3, 2), 0b01) == (3, 2)
+        assert splice_point((1, 5), (3, 2), 0b10) == (1, 5)
+
+    def test_symmetry(self):
+        p, q = (1.0, 7.0, 2.0), (4.0, 3.0, 9.0)
+        for mask in range(8):
+            assert splice_point(p, q, mask) == splice_point(q, p, mask)
+
+    def test_idempotent_on_equal_points(self):
+        p = (2.0, 2.0)
+        assert splice_point(p, p, 0b01) == p
+
+
+class TestStairline:
+    def test_paper_figure2_splice(self, figure2_objects):
+        # The paper's point c combines the x of o1's 11-corner with the y of
+        # o4's 11-corner when clipping corner R^11.
+        corners = [obj.rect.corner(0b11) for obj in figure2_objects]
+        skyline = oriented_skyline(corners, 0b11)
+        stairs = stairline_points(skyline, 0b11, dims=2)
+        o1_corner = figure2_objects[0].rect.corner(0b11)
+        o4_corner = figure2_objects[3].rect.corner(0b11)
+        expected = (min(o1_corner[0], o4_corner[0]), min(o1_corner[1], o4_corner[1]))
+        assert expected in stairs
+
+    def test_stairline_points_are_valid_clip_points(self, figure2_objects):
+        rects = [obj.rect for obj in figure2_objects]
+        for mask in range(4):
+            corners = [r.corner(mask) for r in rects]
+            skyline = oriented_skyline(corners, mask)
+            for stair in stairline_points(skyline, mask, dims=2):
+                # No object corner may sit strictly inside the clipped region.
+                assert not any(
+                    strictly_inside_corner_region(r.corner(mask), stair, mask) for r in rects
+                )
+
+    def test_stairline_empty_for_single_point(self):
+        assert stairline_points([(1.0, 1.0)], 0b00, dims=2) == []
+
+    def test_stairline_excludes_existing_skyline_points(self):
+        skyline = [(0.0, 4.0), (2.0, 2.0), (4.0, 0.0)]
+        stairs = stairline_points(skyline, 0b11, dims=2)
+        assert not set(stairs) & set(skyline)
+
+    def test_staircase_of_three_points(self):
+        # Three incomparable points w.r.t. the max corner produce the two
+        # inner staircase corners.
+        skyline = [(0.0, 4.0), (2.0, 2.0), (4.0, 0.0)]
+        stairs = set(stairline_points(skyline, 0b11, dims=2))
+        assert (0.0, 2.0) in stairs
+        assert (2.0, 0.0) in stairs
+        # The splice of the two extremes would clip over (2,2): invalid.
+        assert (0.0, 0.0) not in stairs
+
+    def test_3d_stairline_validity(self, small_objects_3d):
+        rects = [obj.rect for obj in small_objects_3d[:20]]
+        mbb = mbb_of_rects(rects)
+        for mask in range(8):
+            corners = [r.corner(mask) for r in rects]
+            skyline = oriented_skyline(corners, mask)
+            for stair in stairline_points(skyline, mask, dims=3):
+                assert mbb.contains_point(stair)
+                assert not any(
+                    strictly_inside_corner_region(r.corner(mask), stair, mask) for r in rects
+                )
