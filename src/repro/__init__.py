@@ -20,10 +20,17 @@ Quick start::
     workload = RangeQueryWorkload.from_objects(objects, target_results=10, seed=1)
     for box in workload.queries(100):
         hits = clipped.range_query(box)
+
+Batch workloads run much faster through the columnar engine::
+
+    from repro.engine import ColumnarIndex
+
+    snapshot = ColumnarIndex.from_tree(clipped)
+    results = snapshot.range_query_batch(workload.query_list(100))
 """
 
 from repro.geometry import Rect, SpatialObject
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = ["Rect", "SpatialObject", "__version__"]

@@ -52,6 +52,10 @@ class BenchConfig:
     clip_tau: float = 0.025
     #: base RNG seed
     seed: int = 7
+    #: query engine for the range-query experiments: "scalar" runs one
+    #: Python traversal per query, "columnar" answers whole batches via
+    #: the vectorized engine (identical I/O counts, much faster)
+    engine: str = "scalar"
     #: dataset size used by the Figure 15 scalability experiment
     scalability_size: int = 5000
     #: objects per side of the spatial-join experiment

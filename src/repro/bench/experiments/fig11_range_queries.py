@@ -22,14 +22,20 @@ def run(
     datasets: Sequence[str] = DATASET_NAMES,
     methods: Sequence[str] = ("skyline", "stairline"),
 ) -> List[Dict]:
-    """Average leaf accesses per query for unclipped and clipped trees."""
+    """Average leaf accesses per query for unclipped and clipped trees.
+
+    Runs through the engine selected by ``context.config.engine`` — the
+    columnar engine reports the same leaf-access counts as the scalar
+    traversal, so the reproduced figure is identical either way.
+    """
+    engine = context.config.engine
     rows: List[Dict] = []
     for dataset in datasets:
         for profile in STANDARD_PROFILES:
             queries = context.queries(dataset, profile.target_results)
             for variant in context.config.variants:
                 tree = context.tree(dataset, variant)
-                base = execute_workload(tree, queries)
+                base = execute_workload(context.query_index(tree), queries, engine=engine)
                 row = {
                     "dataset": dataset,
                     "profile": profile.name,
@@ -39,7 +45,7 @@ def run(
                 }
                 for method in methods:
                     clipped = context.clipped(dataset, variant, method=method)
-                    result = execute_workload(clipped, queries)
+                    result = execute_workload(context.query_index(clipped), queries, engine=engine)
                     relative = (
                         100.0 * result.avg_leaf_accesses / base.avg_leaf_accesses
                         if base.avg_leaf_accesses > 0

@@ -13,8 +13,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.bench.harness import ExperimentContext
 from repro.cbb.clipping import ClippingConfig
+from repro.engine import ColumnarIndex, range_query_batch
 from repro.query.workload import RangeQueryWorkload, STANDARD_PROFILES
 from repro.rtree.base import RTreeBase
 from repro.rtree.clipped import ClippedRTree
@@ -27,21 +30,81 @@ DATASETS = ("par02", "par03")
 VARIANTS = ("hilbert", "rrstar")
 
 
+def _replay_scalar_order(snapshot: ColumnarIndex, queries, pool: BufferPool) -> None:
+    """Charge ``pool`` with exactly the scalar traversal's access sequence.
+
+    The batch executor reports which nodes each query visits; this walks
+    that visited subtree per query with the same stack discipline as
+    ``RTreeBase.range_query`` (children pushed in entry order, popped
+    LIFO), so the buffer pool and simulated disk see the identical page
+    sequence — fig15 numbers match the scalar engine byte for byte.
+    """
+    visit_queries: List[np.ndarray] = []
+    visit_nodes: List[np.ndarray] = []
+
+    def record(query_indices: np.ndarray, node_ids: np.ndarray) -> None:
+        visit_queries.append(query_indices)
+        visit_nodes.append(node_ids)
+
+    range_query_batch(snapshot, queries, access_hook=record)
+    if not visit_nodes:
+        return
+    slot_of = {nid: slot for slot, nid in enumerate(snapshot.node_ids.tolist())}
+    all_q = np.concatenate(visit_queries)
+    all_slots = np.fromiter(
+        (slot_of[nid] for nid in np.concatenate(visit_nodes).tolist()),
+        dtype=np.int64,
+        count=len(all_q),
+    )
+    order = np.argsort(all_q, kind="stable")
+    sorted_q = all_q[order]
+    sorted_slots = all_slots[order]
+    boundaries = np.nonzero(np.diff(sorted_q))[0] + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [len(sorted_q)]))
+    node_ids = snapshot.node_ids.tolist()
+    for seg_start, seg_end in zip(starts.tolist(), ends.tolist()):
+        visited = set(sorted_slots[seg_start:seg_end].tolist())
+        stack = [ColumnarIndex.ROOT_SLOT]
+        while stack:
+            slot = stack.pop()
+            pool.access(node_ids[slot])
+            if not snapshot.is_leaf[slot]:
+                entry_start = int(snapshot.entry_start[slot])
+                entry_end = entry_start + int(snapshot.entry_count[slot])
+                for child in snapshot.entry_child[entry_start:entry_end].tolist():
+                    if child in visited:
+                        stack.append(child)
+
+
 def _simulated_query_time_ms(
-    index, tree: RTreeBase, queries, buffer_fraction: float
+    index,
+    tree: RTreeBase,
+    queries,
+    buffer_fraction: float,
+    snapshot: Optional[ColumnarIndex] = None,
 ) -> float:
-    """Average simulated query latency in milliseconds."""
+    """Average simulated query latency in milliseconds.
+
+    When ``snapshot`` is given (columnar engine), the node visits are
+    computed by the batch executor and replayed into the buffer pool in
+    scalar traversal order, so both engines charge the simulated disk
+    identically and the reproduced figure is engine-independent.
+    """
     disk = SimulatedDisk()
     for node in tree.nodes():
         disk.register_page(node.node_id)
     capacity = max(1, int(tree.node_count() * buffer_fraction))
     pool = BufferPool(capacity, disk=disk, stats=IOStats())
 
-    def charge(node) -> None:
-        pool.access(node.node_id)
+    if snapshot is not None:
+        _replay_scalar_order(snapshot, queries, pool)
+    else:
+        def charge(node) -> None:
+            pool.access(node.node_id)
 
-    for query in queries:
-        index.range_query(query, access_hook=charge)
+        for query in queries:
+            index.range_query(query, access_hook=charge)
     return disk.elapsed_ms / len(queries) if queries else 0.0
 
 
@@ -70,6 +133,12 @@ def run(
                 )
                 clipped.clip_all()
                 indexes[label] = clipped
+            # Freeze each index once, not once per profile.
+            snapshots = (
+                {label: ColumnarIndex.from_tree(idx) for label, idx in indexes.items()}
+                if config.engine == "columnar"
+                else {}
+            )
             for profile in STANDARD_PROFILES:
                 workload = RangeQueryWorkload.from_objects(
                     objects, target_results=profile.target_results, seed=config.seed
@@ -82,7 +151,11 @@ def run(
                 }
                 for label, index in indexes.items():
                     row[f"{label}_ms"] = round(
-                        _simulated_query_time_ms(index, tree, queries, buffer_fraction), 3
+                        _simulated_query_time_ms(
+                            index, tree, queries, buffer_fraction,
+                            snapshot=snapshots.get(label),
+                        ),
+                        3,
                     )
                 rows.append(row)
     return rows

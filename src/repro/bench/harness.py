@@ -7,6 +7,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.bench.config import BenchConfig
 from repro.cbb.clipping import ClippingConfig
 from repro.datasets import generate
+from repro.engine import ColumnarIndex
 from repro.geometry.objects import SpatialObject
 from repro.query.workload import RangeQueryWorkload
 from repro.rtree.base import RTreeBase
@@ -28,6 +29,7 @@ class ExperimentContext:
         self._trees: Dict[Tuple[str, str, int, int], RTreeBase] = {}
         self._clipped: Dict[Tuple[int, str, Optional[int], float], ClippedRTree] = {}
         self._workloads: Dict[Tuple[str, int, int], RangeQueryWorkload] = {}
+        self._snapshots: Dict[Tuple[int, object], ColumnarIndex] = {}
 
     # ------------------------------------------------------------------
 
@@ -75,6 +77,23 @@ class ExperimentContext:
             clipped.clip_all()
             self._clipped[key] = clipped
         return self._clipped[key]
+
+    def snapshot(self, index) -> ColumnarIndex:
+        """A columnar snapshot of ``index`` (cached per structure version).
+
+        The cache key includes the source's ``version`` counter, so a
+        snapshot is rebuilt automatically after the underlying tree (or
+        its clip store) mutates.
+        """
+        key = (id(index), index.version)
+        if key not in self._snapshots:
+            self._snapshots[key] = ColumnarIndex.from_tree(index)
+        return self._snapshots[key]
+
+    def query_index(self, index, engine: Optional[str] = None):
+        """``index`` itself for the scalar engine, its snapshot for columnar."""
+        engine = self.config.engine if engine is None else engine
+        return self.snapshot(index) if engine == "columnar" else index
 
     def workload(self, dataset: str, target_results: int, size: Optional[int] = None) -> RangeQueryWorkload:
         """A calibrated range-query workload over ``dataset`` (cached)."""

@@ -21,6 +21,16 @@ class ClipStore:
     def __init__(self, coord_bytes: int = 8):
         self._table: Dict[int, List[ClipPoint]] = {}
         self._coord_bytes = coord_bytes
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped by every store mutation.
+
+        Together with the tree's own version this lets columnar snapshots
+        of clipped trees detect that re-clipping has happened.
+        """
+        return self._version
 
     def put(self, node_id: int, clip_points: Sequence[ClipPoint]) -> None:
         """Store (replacing) the clip points of ``node_id``.
@@ -30,6 +40,7 @@ class ClipStore:
         the entry.
         """
         points = sorted(clip_points, key=lambda cp: cp.score, reverse=True)
+        self._version += 1
         if points:
             self._table[node_id] = points
         else:
@@ -41,7 +52,8 @@ class ClipStore:
 
     def remove(self, node_id: int) -> None:
         """Drop the entry of ``node_id`` (no-op when absent)."""
-        self._table.pop(node_id, None)
+        if self._table.pop(node_id, None) is not None:
+            self._version += 1
 
     def __contains__(self, node_id: int) -> bool:
         return node_id in self._table
@@ -76,3 +88,4 @@ class ClipStore:
     def clear(self) -> None:
         """Remove every entry."""
         self._table.clear()
+        self._version += 1

@@ -110,6 +110,8 @@ def _make_config(args: argparse.Namespace) -> BenchConfig:
         config.queries_per_profile = args.queries
     if args.max_entries is not None:
         config.max_entries = args.max_entries
+    if getattr(args, "engine", None) is not None:
+        config.engine = args.engine
     return config
 
 
@@ -175,6 +177,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="run one experiment and print its tables")
     run_parser.add_argument("experiment", help="experiment id, e.g. fig11")
+    run_parser.add_argument(
+        "--engine",
+        choices=("scalar", "columnar"),
+        default=None,
+        help="query engine for range-query experiments (columnar = vectorized batch)",
+    )
 
     info_parser = subparsers.add_parser("build-info", help="build one index and summarise it")
     info_parser.add_argument("dataset", help="dataset name, e.g. axo03")

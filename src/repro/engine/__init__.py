@@ -1,0 +1,17 @@
+"""Columnar batch query engine.
+
+Freezes any R-tree variant (plain or clipped) into contiguous NumPy
+arrays and answers whole query batches through vectorized kernels — the
+fast path behind ``execute_workload(..., engine="columnar")``, the
+``--engine columnar`` CLI flag, and the fig11/fig15 experiments.
+
+See :mod:`repro.engine.columnar` for the snapshot layout and its
+invalidation semantics, :mod:`repro.engine.kernels` for the scalar↔array
+predicate correspondence, and ``tests/test_engine_differential.py`` for
+the harness that pins batch ≡ scalar ≡ brute force.
+"""
+
+from repro.engine.columnar import ColumnarIndex
+from repro.engine.executor import knn_batch, range_query_batch
+
+__all__ = ["ColumnarIndex", "knn_batch", "range_query_batch"]

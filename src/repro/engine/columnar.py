@@ -1,0 +1,248 @@
+"""Columnar snapshots of R-trees (the batch engine's data layout).
+
+A :class:`ColumnarIndex` freezes any :class:`~repro.rtree.base.RTreeBase`
+variant — optionally wrapped in a
+:class:`~repro.rtree.clipped.ClippedRTree` — into contiguous NumPy
+arrays:
+
+* per-node: leaf flag and the ``(start, count)`` slice of its entries;
+* per-entry: rectangle lows/highs, the child (a node slot for directory
+  entries, an object index for leaf entries), and the ``(start, count)``
+  slice of the child's clip points;
+* per-clip-point: coordinates and the boolean expansion of the corner
+  bitmask.
+
+Nodes are laid out in BFS order from the root (slot 0), so a frontier of
+node slots can be expanded level by level with pure array operations; the
+executor in :mod:`repro.engine.executor` never touches a Python ``Rect``
+on its hot path.
+
+**Snapshot semantics / invalidation.**  A snapshot is an immutable copy:
+it shares the indexed :class:`SpatialObject` instances with the source
+tree but none of its structure.  Any ``insert``/``delete`` on the source
+tree — and, for clipped trees, any re-clipping — leaves the snapshot
+answering queries against the *old* state.  The source's
+``version`` counter is recorded at freeze time; check :attr:`is_stale`
+(or rebuild via :meth:`refresh`) after mutating the source.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.engine.kernels import masks_to_bool
+from repro.geometry.objects import SpatialObject
+from repro.rtree.base import RTreeBase
+from repro.rtree.clipped import ClippedRTree
+
+
+class ColumnarIndex:
+    """An immutable, array-backed snapshot of one R-tree (+ clip points).
+
+    Build with :meth:`from_tree`; query through
+    :func:`repro.engine.executor.range_query_batch` /
+    :func:`repro.engine.executor.knn_batch` or the convenience methods
+    here.  The snapshot keeps a reference to its source only to implement
+    :attr:`is_stale` and :meth:`refresh`.
+    """
+
+    ROOT_SLOT = 0
+
+    def __init__(
+        self,
+        source: Union[RTreeBase, ClippedRTree],
+        dims: int,
+        is_leaf: np.ndarray,
+        entry_start: np.ndarray,
+        entry_count: np.ndarray,
+        node_ids: np.ndarray,
+        entry_lows: np.ndarray,
+        entry_highs: np.ndarray,
+        entry_child: np.ndarray,
+        clip_start: np.ndarray,
+        clip_count: np.ndarray,
+        clip_coords: np.ndarray,
+        clip_is_high: np.ndarray,
+        objects: List[SpatialObject],
+        source_version: object,
+    ):
+        self.source = source
+        self.dims = dims
+        self.is_leaf = is_leaf
+        self.entry_start = entry_start
+        self.entry_count = entry_count
+        self.node_ids = node_ids
+        self.entry_lows = entry_lows
+        self.entry_highs = entry_highs
+        self.entry_child = entry_child
+        self.clip_start = clip_start
+        self.clip_count = clip_count
+        self.clip_coords = clip_coords
+        self.clip_is_high = clip_is_high
+        self.objects = objects
+        self.source_version = source_version
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_tree(cls, index: Union[RTreeBase, ClippedRTree]) -> "ColumnarIndex":
+        """Freeze ``index`` (a plain or clipped R-tree) into arrays.
+
+        Clip points are taken from the :class:`ClipStore` when ``index``
+        is a :class:`ClippedRTree`; a plain tree snapshots with empty clip
+        arrays and the executor skips the pruning kernel entirely.
+        """
+        if isinstance(index, ClippedRTree):
+            tree: RTreeBase = index.tree
+            store = index.store
+        else:
+            tree = index
+            store = None
+
+        # Pass 1: assign BFS slots (parents before children).
+        order: List[int] = []
+        slot_of = {}
+        queue = deque([tree.root_id])
+        while queue:
+            node_id = queue.popleft()
+            slot_of[node_id] = len(order)
+            order.append(node_id)
+            node = tree.node(node_id)
+            if not node.is_leaf:
+                queue.extend(entry.child for entry in node.entries)
+
+        n_nodes = len(order)
+        dims = tree.dims
+        is_leaf = np.zeros(n_nodes, dtype=bool)
+        entry_start = np.zeros(n_nodes, dtype=np.int64)
+        entry_count = np.zeros(n_nodes, dtype=np.int64)
+        node_ids = np.array(order, dtype=np.int64)
+
+        total_entries = sum(len(tree.node(nid).entries) for nid in order)
+        entry_lows = np.empty((total_entries, dims), dtype=np.float64)
+        entry_highs = np.empty((total_entries, dims), dtype=np.float64)
+        entry_child = np.empty(total_entries, dtype=np.int64)
+        clip_start = np.zeros(total_entries, dtype=np.int64)
+        clip_count = np.zeros(total_entries, dtype=np.int64)
+
+        objects: List[SpatialObject] = []
+        coords: List[tuple] = []
+        masks: List[int] = []
+
+        # Pass 2: fill the flat arrays in slot order.
+        cursor = 0
+        for slot, node_id in enumerate(order):
+            node = tree.node(node_id)
+            is_leaf[slot] = node.is_leaf
+            entry_start[slot] = cursor
+            entry_count[slot] = len(node.entries)
+            for entry in node.entries:
+                entry_lows[cursor] = entry.rect.low
+                entry_highs[cursor] = entry.rect.high
+                if node.is_leaf:
+                    entry_child[cursor] = len(objects)
+                    objects.append(entry.child)
+                else:
+                    entry_child[cursor] = slot_of[entry.child]
+                    if store is not None:
+                        clips = store.get(entry.child)
+                        if clips:
+                            clip_start[cursor] = len(coords)
+                            clip_count[cursor] = len(clips)
+                            for clip in clips:
+                                coords.append(clip.coord)
+                                masks.append(clip.mask)
+                cursor += 1
+
+        clip_coords = (
+            np.array(coords, dtype=np.float64)
+            if coords
+            else np.empty((0, dims), dtype=np.float64)
+        )
+        clip_is_high = (
+            masks_to_bool(np.array(masks), dims)
+            if masks
+            else np.empty((0, dims), dtype=bool)
+        )
+        return cls(
+            source=index,
+            dims=dims,
+            is_leaf=is_leaf,
+            entry_start=entry_start,
+            entry_count=entry_count,
+            node_ids=node_ids,
+            entry_lows=entry_lows,
+            entry_highs=entry_highs,
+            entry_child=entry_child,
+            clip_start=clip_start,
+            clip_count=clip_count,
+            clip_coords=clip_coords,
+            clip_is_high=clip_is_high,
+            objects=objects,
+            source_version=cls._version_of(index),
+        )
+
+    @staticmethod
+    def _version_of(index: Union[RTreeBase, ClippedRTree]) -> object:
+        return index.version
+
+    # ------------------------------------------------------------------
+    # staleness
+    # ------------------------------------------------------------------
+
+    @property
+    def is_stale(self) -> bool:
+        """True when the source tree has mutated since this freeze.
+
+        Inserts and deletes on the source (and re-clipping, for clipped
+        sources) bump its ``version``; a stale snapshot still answers
+        queries, but against the state at freeze time.
+        """
+        return self._version_of(self.source) != self.source_version
+
+    def refresh(self) -> "ColumnarIndex":
+        """A fresh snapshot of the (possibly mutated) source tree."""
+        return ColumnarIndex.from_tree(self.source)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def has_clips(self) -> bool:
+        """True when the snapshot carries any clip points."""
+        return len(self.clip_coords) > 0
+
+    def node_count(self) -> int:
+        """Number of snapshot node slots."""
+        return len(self.is_leaf)
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    # ------------------------------------------------------------------
+    # convenience query wrappers
+    # ------------------------------------------------------------------
+
+    def range_query_batch(self, rects: Sequence, stats=None, access_hook=None):
+        """See :func:`repro.engine.executor.range_query_batch`."""
+        from repro.engine.executor import range_query_batch
+
+        return range_query_batch(self, rects, stats=stats, access_hook=access_hook)
+
+    def knn_batch(self, points: Sequence, k: int, stats=None):
+        """See :func:`repro.engine.executor.knn_batch`."""
+        from repro.engine.executor import knn_batch
+
+        return knn_batch(self, points, k, stats=stats)
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarIndex(nodes={self.node_count()}, objects={len(self.objects)}, "
+            f"clips={len(self.clip_coords)}, dims={self.dims})"
+        )

@@ -1,0 +1,221 @@
+"""Batch query execution over a :class:`~repro.engine.columnar.ColumnarIndex`.
+
+:func:`range_query_batch` runs *all* queries simultaneously with a
+level-synchronous frontier: each iteration expands every pending
+``(query, node)`` pair of one tree level through the vectorized kernels —
+one intersection test over every entry of every frontier node, one clip
+pruning pass over every candidate child — so the per-level Python
+overhead is a handful of NumPy calls regardless of how many queries or
+nodes are in flight.
+
+:func:`knn_batch` keeps the scalar best-first control flow (a heap per
+query — best-first order is inherently sequential) but replaces the
+per-entry MinDist loop with one kernel call per visited node.
+
+Both report :class:`~repro.storage.stats.IOStats` identically to the
+scalar traversals in :mod:`repro.rtree.base` and :mod:`repro.query.knn`:
+the same nodes are visited (in a different order), so ``leaf_accesses``,
+``contributing_leaf_accesses`` and ``internal_accesses`` match count for
+count.  ``tests/test_engine_differential.py`` asserts this for every
+variant.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.columnar import ColumnarIndex
+from repro.engine.kernels import (
+    clip_prune_mask,
+    expand_segments,
+    intersect_mask,
+    min_dist_sq,
+    segment_any,
+)
+from repro.geometry.objects import SpatialObject
+from repro.geometry.rect import Rect
+from repro.storage.stats import IOStats
+
+#: ``access_hook(query_indices, node_ids)`` — one call per frontier round
+#: with the queries and the original tree node ids they are visiting.
+AccessHook = Callable[[np.ndarray, np.ndarray], None]
+
+
+def _query_arrays(index: ColumnarIndex, rects: Sequence[Rect]) -> Tuple[np.ndarray, np.ndarray]:
+    lows = np.array([r.low for r in rects], dtype=np.float64)
+    highs = np.array([r.high for r in rects], dtype=np.float64)
+    if lows.shape[1] != index.dims:
+        raise ValueError(
+            f"queries have {lows.shape[1]} dims, snapshot expects {index.dims}"
+        )
+    return lows, highs
+
+
+def range_query_batch(
+    index: ColumnarIndex,
+    rects: Sequence[Rect],
+    stats: Optional[IOStats] = None,
+    access_hook: Optional[AccessHook] = None,
+) -> List[List[SpatialObject]]:
+    """All objects intersecting each query rectangle, per query.
+
+    The vectorized equivalent of calling ``range_query(rect, stats=...)``
+    once per rectangle: result *sets* and every ``IOStats`` counter are
+    identical to the scalar path (results arrive in BFS rather than DFS
+    order).  ``access_hook``, when given, is invoked once per frontier
+    round with the visiting query indices and visited node ids — the
+    cold-disk experiment uses it to charge a buffer pool.
+    """
+    rects = list(rects)
+    results: List[List[SpatialObject]] = [[] for _ in rects]
+    if not rects:
+        return results
+    q_lows, q_highs = _query_arrays(index, rects)
+
+    frontier_q = np.arange(len(rects), dtype=np.int64)
+    frontier_n = np.full(len(rects), ColumnarIndex.ROOT_SLOT, dtype=np.int64)
+    hit_queries_rounds: List[np.ndarray] = []
+    hit_objects_rounds: List[np.ndarray] = []
+
+    while len(frontier_n):
+        if access_hook is not None:
+            access_hook(frontier_q, index.node_ids[frontier_n])
+        leaf_sel = index.is_leaf[frontier_n]
+
+        # --- leaf visits: match entries, record hits --------------------
+        leaf_q = frontier_q[leaf_sel]
+        leaf_n = frontier_n[leaf_sel]
+        if len(leaf_n):
+            flat, owners = expand_segments(
+                index.entry_start[leaf_n], index.entry_count[leaf_n]
+            )
+            hit = intersect_mask(
+                index.entry_lows[flat],
+                index.entry_highs[flat],
+                q_lows[leaf_q[owners]],
+                q_highs[leaf_q[owners]],
+            )
+            if stats is not None:
+                contributed = segment_any(hit, owners, len(leaf_n))
+                stats.leaf_accesses += int(len(leaf_n))
+                stats.contributing_leaf_accesses += int(contributed.sum())
+            hit_rows = np.nonzero(hit)[0]
+            if len(hit_rows):
+                hit_queries_rounds.append(leaf_q[owners[hit_rows]])
+                hit_objects_rounds.append(index.entry_child[flat[hit_rows]])
+
+        # --- internal visits: filter children into the next frontier ----
+        int_q = frontier_q[~leaf_sel]
+        int_n = frontier_n[~leaf_sel]
+        if stats is not None:
+            stats.internal_accesses += int(len(int_n))
+        if not len(int_n):
+            break
+        flat, owners = expand_segments(index.entry_start[int_n], index.entry_count[int_n])
+        isect = intersect_mask(
+            index.entry_lows[flat],
+            index.entry_highs[flat],
+            q_lows[int_q[owners]],
+            q_highs[int_q[owners]],
+        )
+        cand = flat[isect]
+        cand_q = int_q[owners[isect]]
+
+        if index.has_clips and len(cand):
+            cflat, cowners = expand_segments(
+                index.clip_start[cand], index.clip_count[cand]
+            )
+            if len(cflat):
+                prune_rows = clip_prune_mask(
+                    q_lows[cand_q[cowners]],
+                    q_highs[cand_q[cowners]],
+                    index.clip_coords[cflat],
+                    index.clip_is_high[cflat],
+                )
+                keep = ~segment_any(prune_rows, cowners, len(cand))
+                cand = cand[keep]
+                cand_q = cand_q[keep]
+
+        frontier_q = cand_q
+        frontier_n = index.entry_child[cand]
+
+    # Materialise the result lists in one grouped pass: a stable sort by
+    # query keeps the BFS discovery order within each query, and objects
+    # are resolved per contiguous slice rather than per hit.
+    if hit_queries_rounds:
+        all_q = np.concatenate(hit_queries_rounds)
+        all_obj = np.concatenate(hit_objects_rounds)
+        order = np.argsort(all_q, kind="stable")
+        sorted_q = all_q[order]
+        sorted_obj = all_obj[order]
+        boundaries = np.nonzero(np.diff(sorted_q))[0] + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [len(sorted_q)]))
+        get = index.objects.__getitem__
+        for q, start, end in zip(sorted_q[starts].tolist(), starts.tolist(), ends.tolist()):
+            results[q] = [get(i) for i in sorted_obj[start:end].tolist()]
+    return results
+
+
+def knn_batch(
+    index: ColumnarIndex,
+    points: Sequence[Sequence[float]],
+    k: int,
+    stats: Optional[IOStats] = None,
+) -> List[List[Tuple[float, SpatialObject]]]:
+    """The ``k`` nearest objects per query point (squared distance, object).
+
+    Result lists and ``IOStats`` counters match
+    :func:`repro.query.knn.knn_query` run on the source tree; clip points
+    are not consulted (MinDist to the MBB is already a valid lower bound,
+    so clipping could only tighten — never change — the result set).
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    return [_knn_single(index, point, k, stats) for point in points]
+
+
+def _knn_single(
+    index: ColumnarIndex,
+    point: Sequence[float],
+    k: int,
+    stats: Optional[IOStats],
+) -> List[Tuple[float, SpatialObject]]:
+    point = np.asarray(point, dtype=np.float64)
+    if point.shape != (index.dims,):
+        raise ValueError(f"point has shape {point.shape}, snapshot expects ({index.dims},)")
+    counter = itertools.count()
+    heap: List[Tuple[float, int, int, bool]] = [
+        (0.0, next(counter), ColumnarIndex.ROOT_SLOT, True)
+    ]
+    results: List[Tuple[float, SpatialObject]] = []
+
+    while heap and len(results) < k:
+        dist, _, item, is_node = heapq.heappop(heap)
+        if not is_node:
+            results.append((dist, index.objects[item]))
+            continue
+        slot = item
+        leaf = bool(index.is_leaf[slot])
+        if stats is not None:
+            if leaf:
+                stats.record_leaf()
+            else:
+                stats.record_internal()
+        start = int(index.entry_start[slot])
+        count = int(index.entry_count[slot])
+        if not count:
+            continue
+        dists = min_dist_sq(
+            index.entry_lows[start : start + count],
+            index.entry_highs[start : start + count],
+            point,
+        )
+        children = index.entry_child[start : start + count]
+        for d, child in zip(dists.tolist(), children.tolist()):
+            heapq.heappush(heap, (d, next(counter), child, not leaf))
+    return results

@@ -135,13 +135,20 @@ class Rect:
         return self.union(other).volume() - self.volume()
 
     def min_distance_sq(self, point: Sequence[float]) -> float:
-        """Squared minimum distance from ``point`` to this rectangle."""
+        """Squared minimum distance from ``point`` to this rectangle.
+
+        Uses plain multiplication rather than ``** 2``: ``pow`` may be a
+        ULP off the correctly-rounded product, and the batch engine's
+        MinDist kernel (an IEEE multiply) must match this bit for bit.
+        """
         dist = 0.0
         for lo, hi, p in zip(self.low, self.high, point):
             if p < lo:
-                dist += (lo - p) ** 2
+                delta = lo - p
+                dist += delta * delta
             elif p > hi:
-                dist += (p - hi) ** 2
+                delta = p - hi
+                dist += delta * delta
         return dist
 
     def center_distance_sq(self, other: "Rect") -> float:

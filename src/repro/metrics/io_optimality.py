@@ -10,11 +10,16 @@ from repro.rtree.base import RTreeBase
 from repro.rtree.clipped import ClippedRTree
 
 
-def io_optimality(index: Union[RTreeBase, ClippedRTree], queries: Iterable[Rect]) -> float:
+def io_optimality(
+    index: Union[RTreeBase, ClippedRTree],
+    queries: Iterable[Rect],
+    engine: str = "scalar",
+) -> float:
     """Fraction of leaf accesses containing at least one result object.
 
     1.0 means every leaf read was useful ("optimal"); the complement is
-    the fraction of reads that only touched dead space.
+    the fraction of reads that only touched dead space.  Both engines
+    report the same value — they visit the same leaves.
     """
-    result = execute_workload(index, queries)
+    result = execute_workload(index, queries, engine=engine)
     return result.io_optimality

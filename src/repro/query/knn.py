@@ -9,15 +9,16 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.geometry.objects import SpatialObject
 from repro.rtree.base import RTreeBase
+from repro.rtree.clipped import ClippedRTree
 from repro.storage.stats import IOStats
 
 
 def knn_query(
-    tree: RTreeBase,
+    tree: Union[RTreeBase, ClippedRTree],
     point: Sequence[float],
     k: int,
     stats: Optional[IOStats] = None,
@@ -27,6 +28,10 @@ def knn_query(
     Uses the classic best-first search: a priority queue ordered by MinDist
     holding both nodes and objects; an object popped from the queue is
     guaranteed to be the next nearest.
+
+    Accepts a :class:`ClippedRTree` as well: clip points never affect kNN
+    results (MinDist to the MBB is already a valid lower bound), so the
+    search simply traverses the wrapped tree.
     """
     if k < 1:
         raise ValueError("k must be at least 1")

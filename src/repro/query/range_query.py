@@ -9,6 +9,9 @@ from repro.geometry.objects import SpatialObject
 from repro.geometry.rect import Rect
 from repro.storage.stats import IOStats
 
+#: Engines understood by :func:`execute_workload`.
+ENGINES = ("scalar", "columnar")
+
 
 class SupportsRangeQuery(Protocol):
     """Anything with a ``range_query(rect, stats=...)`` method."""
@@ -19,7 +22,14 @@ class SupportsRangeQuery(Protocol):
 
 @dataclass
 class WorkloadResult:
-    """Aggregate result of running a batch of range queries."""
+    """Aggregate result of running a batch of range queries.
+
+    The scalar and columnar engines produce identical instances on
+    identical workloads: both visit the same node set per query, so
+    ``stats.leaf_accesses`` and ``stats.contributing_leaf_accesses`` — and
+    therefore :attr:`io_optimality` — agree exactly (pinned by
+    ``tests/test_engine_differential.py``).
+    """
 
     queries: int
     total_results: int
@@ -43,8 +53,43 @@ class WorkloadResult:
         return self.stats.contributing_leaf_accesses / self.stats.leaf_accesses
 
 
-def execute_workload(index: SupportsRangeQuery, queries: Iterable[Rect]) -> WorkloadResult:
-    """Run every query against ``index`` and accumulate I/O statistics."""
+def execute_workload(
+    index: SupportsRangeQuery,
+    queries: Iterable[Rect],
+    engine: str = "scalar",
+) -> WorkloadResult:
+    """Run every query against ``index`` and accumulate I/O statistics.
+
+    ``engine`` selects the execution path:
+
+    * ``"scalar"`` (default) — one Python traversal per query, exactly as
+      before;
+    * ``"columnar"`` — freeze ``index`` into a
+      :class:`~repro.engine.columnar.ColumnarIndex` snapshot (or reuse
+      ``index`` directly if it already is one) and answer the whole batch
+      through the vectorized executor.  Result counts and I/O statistics
+      are identical to the scalar path; only wall-clock time differs.
+
+    Passing an already-frozen ``ColumnarIndex`` selects the columnar
+    engine automatically — a snapshot has no scalar traversal to fall
+    back on.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
+    if engine == "columnar" or not hasattr(index, "range_query"):
+        # Imported lazily: the engine pulls in NumPy-heavy modules that the
+        # scalar path never needs.  An already-frozen ColumnarIndex has no
+        # scalar traversal, so it always runs columnar regardless of the
+        # ``engine`` default.
+        from repro.engine import ColumnarIndex, range_query_batch
+
+        snapshot = index if isinstance(index, ColumnarIndex) else ColumnarIndex.from_tree(index)
+        stats = IOStats()
+        queries = list(queries)
+        results = range_query_batch(snapshot, queries, stats=stats)
+        total_results = sum(len(r) for r in results)
+        return WorkloadResult(queries=len(queries), total_results=total_results, stats=stats)
+
     stats = IOStats()
     total_results = 0
     count = 0

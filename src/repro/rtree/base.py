@@ -79,6 +79,7 @@ class RTreeBase:
         root = self._new_node(level=0)
         self._root_id = root.node_id
         self._size = 0
+        self._version = 0
 
     # ------------------------------------------------------------------
     # structure access
@@ -88,6 +89,16 @@ class RTreeBase:
     def root_id(self) -> int:
         """Id of the root node."""
         return self._root_id
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped by every structural mutation.
+
+        Columnar snapshots (:class:`repro.engine.columnar.ColumnarIndex`)
+        record it at freeze time to detect staleness after inserts and
+        deletes.
+        """
+        return self._version
 
     @property
     def root(self) -> Node:
@@ -170,6 +181,7 @@ class RTreeBase:
         self._begin_insert()
         self._insert_entry(Entry(obj.rect, obj), level=0, result=result)
         self._size += 1
+        self._version += 1
         return result
 
     def bulk_insert(self, objects: Iterable[SpatialObject]) -> None:
@@ -268,6 +280,7 @@ class RTreeBase:
                 del leaf.entries[i]
                 break
         self._size -= 1
+        self._version += 1
         self._condense_tree(path, result)
         self._shrink_root(result)
         return result
@@ -352,12 +365,15 @@ class RTreeBase:
     ) -> List[SpatialObject]:
         """All objects whose rectangles intersect ``rect``.
 
-        ``stats`` (when given) accumulates node accesses; the root access
-        is counted as internal.  ``child_filter(child_id, child_mbb,
-        query)`` can veto descending into a child whose MBB intersects the
-        query — this is the hook the clipped R-tree uses.  ``access_hook``
-        is called with every visited node (the buffer-pool experiments use
-        it to charge simulated disk reads).
+        ``stats`` (when given) accumulates node accesses; the root is
+        always visited and counted at its own level (internal, or leaf for
+        a single-node tree).  ``child_filter(child_id, child_mbb, query)``
+        can veto descending into a child whose MBB intersects the query —
+        this is the hook the clipped R-tree uses.  ``access_hook`` is
+        called with every visited node (the buffer-pool experiments use it
+        to charge simulated disk reads).  The columnar batch engine
+        (:mod:`repro.engine`) visits the same node set and reports
+        identical counters.
         """
         results: List[SpatialObject] = []
         stack = [self._root_id]
@@ -444,6 +460,7 @@ class RTreeBase:
         """Install a bulk-built structure (root id + object count)."""
         self._root_id = root_id
         self._size = size
+        self._version += 1
 
     def _pack_level(self, children: Sequence[Node], level: int) -> Node:
         """Pack ``children`` into parents of ``level``; returns the root."""

@@ -62,6 +62,42 @@ class ClippedRTree:
         self.store = ClipStore()
 
     # ------------------------------------------------------------------
+    # structure delegation (lets generic traversals — kNN search, the
+    # columnar snapshot builder — treat a clipped tree like a plain one)
+    # ------------------------------------------------------------------
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the wrapped tree."""
+        return self.tree.dims
+
+    @property
+    def root_id(self) -> int:
+        """Id of the wrapped tree's root node."""
+        return self.tree.root_id
+
+    def node(self, node_id: int):
+        """Look up a node of the wrapped tree by id."""
+        return self.tree.node(node_id)
+
+    def leaf_count(self) -> int:
+        """Number of leaf nodes of the wrapped tree."""
+        return self.tree.leaf_count()
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    @property
+    def version(self) -> Tuple[int, int]:
+        """Combined (tree version, clip-store version) mutation counter.
+
+        Bumped by inserts/deletes *and* by any re-clipping, so a columnar
+        snapshot of a clipped tree goes stale whenever either the pages or
+        the auxiliary clip table change.
+        """
+        return (self.tree.version, self.store.version)
+
+    # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
 

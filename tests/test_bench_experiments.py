@@ -121,6 +121,16 @@ class TestExperimentsRun:
         for row in rows:
             assert row["unclipped_ms"] >= 0.0
 
+    def test_fig15_engine_equivalence(self):
+        """The columnar replay charges the disk exactly like the scalar walk."""
+        scalar_config = BenchConfig.tiny()
+        columnar_config = BenchConfig.tiny()
+        columnar_config.engine = "columnar"
+        kwargs = dict(datasets=("par02",), size=500, queries_per_profile=4)
+        scalar_rows = fig15_scalability.run(ExperimentContext(scalar_config), **kwargs)
+        columnar_rows = fig15_scalability.run(ExperimentContext(columnar_config), **kwargs)
+        assert scalar_rows == columnar_rows
+
     def test_ablation_tau(self, tiny_context):
         rows = ablations.run_tau_sweep(tiny_context, dataset="par02", taus=(0.0, 0.1))
         assert len(rows) == 2

@@ -1,0 +1,283 @@
+"""Differential-testing harness for the columnar batch engine.
+
+Three implementations must agree on every workload:
+
+1. ``brute_force_range`` — the linear-scan ground truth;
+2. the scalar ``range_query`` traversal (plain and clipped trees);
+3. ``range_query_batch`` over a :class:`ColumnarIndex` snapshot.
+
+The harness sweeps every registered R-tree variant × every dataset
+generator with seeded randomized workloads that include degenerate point
+rectangles and guaranteed-empty queries, asserting identical result sets
+*and* identical ``IOStats`` counters (leaf, contributing-leaf, and
+internal accesses) between the scalar and batch paths.
+"""
+
+import random
+
+import pytest
+
+from repro.datasets.registry import DATASET_NAMES, generate
+from repro.engine import ColumnarIndex, knn_batch, range_query_batch
+from repro.geometry.rect import Rect
+from repro.query.knn import knn_query
+from repro.query.range_query import brute_force_range, execute_workload
+from repro.query.workload import RangeQueryWorkload
+from repro.rtree.clipped import ClippedRTree
+from repro.rtree.quadratic import QuadraticRTree
+from repro.rtree.registry import VARIANT_NAMES, build_rtree
+from repro.storage.stats import IOStats
+from tests.conftest import make_random_objects
+
+ALL_VARIANTS = VARIANT_NAMES + ("str",)
+DATASET_SIZE = 220
+QUERIES_PER_CASE = 18
+
+
+def _workload_queries(objects, seed):
+    """A mixed query batch: calibrated boxes, point rects, empty queries."""
+    rng = random.Random(seed)
+    workload = RangeQueryWorkload.from_objects(objects, target_results=8, seed=seed)
+    queries = workload.query_list(QUERIES_PER_CASE, seed=seed)
+    # Degenerate point queries: object corners (boundary contact) and
+    # dithered interior points.
+    for _ in range(6):
+        obj = rng.choice(objects)
+        queries.append(Rect(obj.rect.low, obj.rect.low))
+        queries.append(Rect.from_point(obj.rect.center))
+    # Guaranteed-empty queries far outside the data space.
+    space = workload.space
+    far = [hi + (hi - lo) + 10.0 for lo, hi in zip(space.low, space.high)]
+    queries.append(Rect(far, [f + 1.0 for f in far]))
+    queries.append(Rect.from_point(far))
+    return queries
+
+
+def _assert_engines_agree(index, objects, queries):
+    """Scalar ≡ batch ≡ brute force on results; scalar ≡ batch on stats."""
+    scalar_stats = IOStats()
+    scalar_results = [index.range_query(q, stats=scalar_stats) for q in queries]
+
+    snapshot = ColumnarIndex.from_tree(index)
+    batch_stats = IOStats()
+    batch_results = range_query_batch(snapshot, queries, stats=batch_stats)
+
+    for query, scalar_res, batch_res in zip(queries, scalar_results, batch_results):
+        expected = {obj.oid for obj in brute_force_range(objects, query)}
+        assert {obj.oid for obj in scalar_res} == expected
+        assert {obj.oid for obj in batch_res} == expected
+        assert len(batch_res) == len(scalar_res)
+
+    assert batch_stats.leaf_accesses == scalar_stats.leaf_accesses
+    assert batch_stats.contributing_leaf_accesses == scalar_stats.contributing_leaf_accesses
+    assert batch_stats.internal_accesses == scalar_stats.internal_accesses
+
+
+class TestDifferentialAcrossVariantsAndDatasets:
+    @pytest.mark.parametrize("dataset", DATASET_NAMES)
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_batch_equals_scalar_equals_brute_force(self, dataset, variant):
+        objects = generate(dataset, DATASET_SIZE, seed=11)
+        queries = _workload_queries(objects, seed=13)
+        tree = build_rtree(variant, objects, max_entries=12)
+        _assert_engines_agree(tree, objects, queries)
+
+    @pytest.mark.parametrize("dataset", DATASET_NAMES)
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_batch_equals_scalar_on_clipped_trees(self, dataset, variant):
+        objects = generate(dataset, DATASET_SIZE, seed=17)
+        queries = _workload_queries(objects, seed=19)
+        tree = build_rtree(variant, objects, max_entries=12)
+        clipped = ClippedRTree.wrap(tree, method="stairline")
+        _assert_engines_agree(clipped, objects, queries)
+
+    @pytest.mark.parametrize("method", ["skyline", "stairline"])
+    def test_both_clipping_methods(self, method):
+        objects = make_random_objects(300, dims=2, seed=23)
+        queries = _workload_queries(objects, seed=29)
+        tree = build_rtree("rstar", objects, max_entries=10)
+        clipped = ClippedRTree.wrap(tree, method=method)
+        _assert_engines_agree(clipped, objects, queries)
+
+    def test_three_dimensional_clipped(self):
+        objects = make_random_objects(250, dims=3, seed=31)
+        queries = _workload_queries(objects, seed=37)
+        tree = build_rtree("rrstar", objects, max_entries=10)
+        _assert_engines_agree(ClippedRTree.wrap(tree), objects, queries)
+
+
+class TestWorkloadEngineParity:
+    """``execute_workload`` reports identical results for both engines."""
+
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_workload_results_identical(self, variant, medium_objects_2d):
+        tree = build_rtree(variant, medium_objects_2d, max_entries=10)
+        queries = _workload_queries(medium_objects_2d, seed=41)
+        for index in (tree, ClippedRTree.wrap(tree)):
+            scalar = execute_workload(index, queries, engine="scalar")
+            batch = execute_workload(index, queries, engine="columnar")
+            assert batch.queries == scalar.queries
+            assert batch.total_results == scalar.total_results
+            assert batch.stats.leaf_accesses == scalar.stats.leaf_accesses
+            assert (
+                batch.stats.contributing_leaf_accesses
+                == scalar.stats.contributing_leaf_accesses
+            )
+            assert batch.stats.internal_accesses == scalar.stats.internal_accesses
+            assert batch.io_optimality == scalar.io_optimality
+            assert batch.avg_leaf_accesses == scalar.avg_leaf_accesses
+
+    def test_precomputed_snapshot_is_accepted(self, small_objects_2d):
+        tree = build_rtree("quadratic", small_objects_2d, max_entries=8)
+        snapshot = ColumnarIndex.from_tree(tree)
+        queries = _workload_queries(small_objects_2d, seed=43)
+        direct = execute_workload(tree, queries, engine="columnar")
+        reused = execute_workload(snapshot, queries, engine="columnar")
+        assert reused.total_results == direct.total_results
+        assert reused.stats.leaf_accesses == direct.stats.leaf_accesses
+        # A snapshot has no scalar traversal: the default engine argument
+        # must route it through the columnar executor, not crash.
+        defaulted = execute_workload(snapshot, queries)
+        assert defaulted.total_results == direct.total_results
+        assert defaulted.stats.leaf_accesses == direct.stats.leaf_accesses
+
+    def test_unknown_engine_rejected(self, small_objects_2d):
+        tree = build_rtree("quadratic", small_objects_2d, max_entries=8)
+        with pytest.raises(ValueError):
+            execute_workload(tree, [], engine="gpu")
+
+    def test_empty_query_batch(self, small_objects_2d):
+        tree = build_rtree("quadratic", small_objects_2d, max_entries=8)
+        result = execute_workload(tree, [], engine="columnar")
+        assert result.queries == 0
+        assert result.total_results == 0
+        assert result.io_optimality == 1.0
+
+
+class TestStatsPinned:
+    """Regression pin: exact counters on a small fixed tree, both engines.
+
+    The numbers below were produced by the scalar traversal at the time
+    the batch engine landed; any drift in either engine breaks the pin.
+    """
+
+    QUERIES = [
+        Rect((10.0, 10.0), (40.0, 40.0)),
+        Rect((0.0, 0.0), (5.0, 5.0)),
+        Rect((80.0, 80.0), (99.0, 99.0)),
+        Rect((200.0, 200.0), (210.0, 210.0)),  # empty result
+        Rect((50.0, 50.0), (50.0, 50.0)),  # degenerate point
+    ]
+
+    # (total_results, leaf_accesses, contributing_leaf_accesses, internal_accesses)
+    PINNED_PLAIN = (9, 6, 5, 9)
+    PINNED_CLIPPED = (9, 5, 5, 9)
+
+    def _fixed_indexes(self):
+        objects = make_random_objects(60, dims=2, seed=1)
+        tree = build_rtree("rstar", objects, max_entries=8)
+        return tree, ClippedRTree.wrap(tree)
+
+    @pytest.mark.parametrize("engine", ["scalar", "columnar"])
+    def test_pinned_counts(self, engine):
+        tree, clipped = self._fixed_indexes()
+        for index, pinned in ((tree, self.PINNED_PLAIN), (clipped, self.PINNED_CLIPPED)):
+            result = execute_workload(index, self.QUERIES, engine=engine)
+            observed = (
+                result.total_results,
+                result.stats.leaf_accesses,
+                result.stats.contributing_leaf_accesses,
+                result.stats.internal_accesses,
+            )
+            assert observed == pinned, f"{engine} drifted on {type(index).__name__}"
+
+    def test_pinned_io_optimality(self):
+        tree, clipped = self._fixed_indexes()
+        assert execute_workload(tree, self.QUERIES, engine="columnar").io_optimality == pytest.approx(5 / 6)
+        assert execute_workload(clipped, self.QUERIES, engine="columnar").io_optimality == 1.0
+
+
+class TestKnnDifferential:
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_knn_batch_matches_scalar(self, variant, medium_objects_2d):
+        tree = build_rtree(variant, medium_objects_2d, max_entries=10)
+        snapshot = ColumnarIndex.from_tree(tree)
+        points = [(0.0, 0.0), (50.0, 50.0), (99.0, 1.0), (25.0, 75.0)]
+        scalar_stats = IOStats()
+        batch_stats = IOStats()
+        batch = knn_batch(snapshot, points, k=9, stats=batch_stats)
+        for point, batch_res in zip(points, batch):
+            scalar_res = knn_query(tree, point, k=9, stats=scalar_stats)
+            assert [(d, o.oid) for d, o in batch_res] == [
+                (d, o.oid) for d, o in scalar_res
+            ]
+        assert batch_stats.leaf_accesses == scalar_stats.leaf_accesses
+        assert batch_stats.internal_accesses == scalar_stats.internal_accesses
+
+    def test_knn_batch_on_clipped_snapshot(self, medium_objects_2d):
+        tree = build_rtree("rstar", medium_objects_2d, max_entries=10)
+        clipped = ClippedRTree.wrap(tree)
+        snapshot = ColumnarIndex.from_tree(clipped)
+        point = (42.0, 17.0)
+        batch = knn_batch(snapshot, [point], k=5)[0]
+        scalar = knn_query(tree, point, k=5)
+        assert [(d, o.oid) for d, o in batch] == [(d, o.oid) for d, o in scalar]
+
+    def test_knn_batch_k_larger_than_dataset(self, small_objects_2d):
+        tree = build_rtree("quadratic", small_objects_2d, max_entries=8)
+        snapshot = ColumnarIndex.from_tree(tree)
+        results = knn_batch(snapshot, [(1.0, 1.0)], k=1000)[0]
+        assert len(results) == len(small_objects_2d)
+
+    def test_knn_batch_invalid_k(self, small_objects_2d):
+        tree = build_rtree("quadratic", small_objects_2d, max_entries=8)
+        snapshot = ColumnarIndex.from_tree(tree)
+        with pytest.raises(ValueError):
+            knn_batch(snapshot, [(0.0, 0.0)], k=0)
+
+
+class TestSnapshotLifecycle:
+    def test_empty_tree_snapshot(self):
+        tree = QuadraticRTree(dims=2, max_entries=4)
+        snapshot = ColumnarIndex.from_tree(tree)
+        stats = IOStats()
+        results = range_query_batch(snapshot, [Rect((0, 0), (10, 10))], stats=stats)
+        assert results == [[]]
+        # The scalar path also counts the (empty) root leaf access.
+        assert stats.leaf_accesses == 1
+        assert stats.contributing_leaf_accesses == 0
+        assert knn_batch(snapshot, [(0.0, 0.0)], k=3) == [[]]
+
+    def test_snapshot_staleness_and_refresh(self, small_objects_2d):
+        extra = make_random_objects(5, dims=2, seed=99)
+        tree = build_rtree("rstar", small_objects_2d, max_entries=8)
+        snapshot = ColumnarIndex.from_tree(tree)
+        assert not snapshot.is_stale
+        tree.insert(extra[0])
+        assert snapshot.is_stale
+        assert len(snapshot) == len(small_objects_2d)  # still the frozen state
+        fresh = snapshot.refresh()
+        assert not fresh.is_stale
+        assert len(fresh) == len(small_objects_2d) + 1
+
+    def test_clipped_snapshot_staleness_after_reclip(self, small_objects_2d):
+        tree = build_rtree("rstar", small_objects_2d, max_entries=8)
+        clipped = ClippedRTree.wrap(tree)
+        snapshot = ColumnarIndex.from_tree(clipped)
+        assert not snapshot.is_stale
+        clipped.clip_all()  # re-clipping alone must invalidate
+        assert snapshot.is_stale
+
+    def test_deletion_invalidates(self, small_objects_2d):
+        tree = build_rtree("rstar", small_objects_2d, max_entries=8)
+        snapshot = ColumnarIndex.from_tree(tree)
+        tree.delete(small_objects_2d[0])
+        assert snapshot.is_stale
+
+    def test_dimension_mismatch_rejected(self, small_objects_2d):
+        tree = build_rtree("quadratic", small_objects_2d, max_entries=8)
+        snapshot = ColumnarIndex.from_tree(tree)
+        with pytest.raises(ValueError):
+            range_query_batch(snapshot, [Rect((0, 0, 0), (1, 1, 1))])
+        with pytest.raises(ValueError):
+            knn_batch(snapshot, [(0.0, 0.0, 0.0)], k=1)

@@ -1,0 +1,239 @@
+"""Seeded property tests for the engine's vectorized kernels.
+
+Each kernel is compared against its scalar reference implementation on
+randomized inputs engineered to hit the awkward regions: rectangles that
+touch only on a face/corner (closed-intersection boundary), degenerate
+point rectangles, query corners exactly on a clip point (strictness), and
+MinDist points inside/outside/astride rectangle slabs.  Seeds are fixed,
+so failures reproduce deterministically.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.cbb.clipping import ClippingConfig, compute_clip_points
+from repro.cbb.intersection import clipped_intersects
+from repro.engine import ColumnarIndex, range_query_batch
+from repro.engine.kernels import (
+    clip_prune_mask,
+    expand_segments,
+    intersect_mask,
+    masks_to_bool,
+    min_dist_sq,
+    segment_any,
+)
+from repro.geometry.dominance import strictly_inside_corner_region
+from repro.geometry.rect import Rect, mbb_of_rects
+from repro.query.knn import knn_query
+from repro.query.range_query import brute_force_range
+from repro.rtree.clipped import ClippedRTree
+from repro.rtree.registry import build_rtree
+from tests.conftest import make_random_objects
+
+
+def _grid_rect(rng, dims, span=10):
+    """Random rectangle on an integer grid (boundary contact is common)."""
+    low = [float(rng.randint(0, span)) for _ in range(dims)]
+    high = [lo + float(rng.randint(0, 3)) for lo in low]
+    return Rect(low, high)
+
+
+class TestIntersectionKernel:
+    @pytest.mark.parametrize("dims", [1, 2, 3, 4])
+    def test_matches_rect_intersects(self, dims):
+        rng = random.Random(100 + dims)
+        rects = [_grid_rect(rng, dims) for _ in range(300)]
+        queries = [_grid_rect(rng, dims) for _ in range(40)]
+        lows = np.array([r.low for r in rects])
+        highs = np.array([r.high for r in rects])
+        for query in queries:
+            mask = intersect_mask(lows, highs, np.array(query.low), np.array(query.high))
+            expected = np.array([r.intersects(query) for r in rects])
+            assert np.array_equal(mask, expected)
+
+    def test_point_rectangles(self):
+        rng = random.Random(7)
+        rects = [_grid_rect(rng, 2) for _ in range(200)]
+        lows = np.array([r.low for r in rects])
+        highs = np.array([r.high for r in rects])
+        for _ in range(50):
+            point = Rect.from_point((float(rng.randint(0, 12)), float(rng.randint(0, 12))))
+            mask = intersect_mask(lows, highs, np.array(point.low), np.array(point.high))
+            expected = np.array([r.intersects(point) for r in rects])
+            assert np.array_equal(mask, expected)
+
+    def test_per_row_queries(self):
+        rng = random.Random(8)
+        rects = [_grid_rect(rng, 3) for _ in range(150)]
+        queries = [_grid_rect(rng, 3) for _ in range(150)]
+        mask = intersect_mask(
+            np.array([r.low for r in rects]),
+            np.array([r.high for r in rects]),
+            np.array([q.low for q in queries]),
+            np.array([q.high for q in queries]),
+        )
+        expected = np.array([r.intersects(q) for r, q in zip(rects, queries)])
+        assert np.array_equal(mask, expected)
+
+
+class TestMinDistKernel:
+    @pytest.mark.parametrize("dims", [1, 2, 3])
+    def test_matches_rect_min_distance_sq(self, dims):
+        rng = random.Random(200 + dims)
+        rects = [_grid_rect(rng, dims) for _ in range(300)]
+        lows = np.array([r.low for r in rects])
+        highs = np.array([r.high for r in rects])
+        for _ in range(30):
+            point = [rng.uniform(-5.0, 18.0) for _ in range(dims)]
+            dists = min_dist_sq(lows, highs, np.array(point))
+            expected = np.array([r.min_distance_sq(point) for r in rects])
+            # Bit-exact: same per-dimension arithmetic, same accumulation order.
+            assert np.array_equal(dists, expected)
+
+    def test_zero_inside(self):
+        rect = Rect((0.0, 0.0), (10.0, 10.0))
+        dists = min_dist_sq(
+            np.array([rect.low]), np.array([rect.high]), np.array([5.0, 10.0])
+        )
+        assert dists[0] == 0.0
+
+    def test_knn_ordering_matches_scalar(self):
+        """The kernel drives knn_batch to the scalar traversal's ordering."""
+        objects = make_random_objects(350, dims=2, seed=55)
+        tree = build_rtree("rstar", objects, max_entries=9)
+        snapshot = ColumnarIndex.from_tree(tree)
+        rng = random.Random(56)
+        for _ in range(8):
+            point = (rng.uniform(0, 100), rng.uniform(0, 100))
+            scalar = knn_query(tree, point, k=12)
+            batch = snapshot.knn_batch([point], k=12)[0]
+            assert [(d, o.oid) for d, o in batch] == [(d, o.oid) for d, o in scalar]
+            dists = [d for d, _ in batch]
+            assert dists == sorted(dists)
+
+
+class TestClipPruneKernel:
+    def _random_clipped_node(self, rng, dims):
+        rects = [_grid_rect(rng, dims) for _ in range(rng.randint(4, 14))]
+        mbb = mbb_of_rects(rects)
+        clips = compute_clip_points(mbb, rects, ClippingConfig(method="stairline"))
+        return mbb, clips
+
+    @pytest.mark.parametrize("dims", [2, 3])
+    def test_matches_scalar_dominance_probe(self, dims):
+        rng = random.Random(300 + dims)
+        cases = 0
+        for _ in range(60):
+            mbb, clips = self._random_clipped_node(rng, dims)
+            if not clips:
+                continue
+            coords = np.array([c.coord for c in clips])
+            is_high = masks_to_bool(np.array([c.mask for c in clips]), dims)
+            for _ in range(20):
+                query = _grid_rect(rng, dims)
+                q_low = np.broadcast_to(np.array(query.low), coords.shape)
+                q_high = np.broadcast_to(np.array(query.high), coords.shape)
+                verdicts = clip_prune_mask(q_low, q_high, coords, is_high)
+                selector = (1 << dims) - 1
+                expected = np.array(
+                    [
+                        strictly_inside_corner_region(
+                            query.corner(selector ^ c.mask), c.coord, c.mask
+                        )
+                        for c in clips
+                    ]
+                )
+                assert np.array_equal(verdicts, expected)
+                # Aggregated: any pruning clip ≙ clipped_intersects == False
+                if mbb.intersects(query):
+                    assert (not clipped_intersects(mbb, clips, query)) == bool(
+                        verdicts.any()
+                    )
+                cases += 1
+        assert cases > 100, "not enough clipped nodes generated"
+
+    def test_boundary_contact_never_prunes(self):
+        """A query corner exactly on the clip point must not be pruned."""
+        mbb = Rect((0.0, 0.0), (10.0, 10.0))
+        coords = np.array([[8.0, 8.0]])
+        is_high = masks_to_bool(np.array([0b11]), 2)  # clips towards (10, 10)
+        # Query's far corner (towards the clip corner) lands exactly on the
+        # clip coordinate: strictness requires no pruning.
+        q_low = np.array([[8.0, 8.0]])
+        q_high = np.array([[8.0, 8.0]])
+        assert not clip_prune_mask(q_low, q_high, coords, is_high)[0]
+        # Strictly inside the dead region: pruned.
+        q_low = np.array([[8.5, 8.5]])
+        q_high = np.array([[9.0, 9.0]])
+        assert clip_prune_mask(q_low, q_high, coords, is_high)[0]
+
+    @pytest.mark.parametrize("seed", [71, 72, 73])
+    def test_never_prunes_a_contributing_leaf(self, seed):
+        """End-to-end no-false-negative property on clipped snapshots.
+
+        Every object the linear scan finds must survive batch execution
+        over the clipped snapshot — i.e. the pruning kernel never skips a
+        subtree that holds a result.
+        """
+        objects = make_random_objects(320, dims=2, seed=seed)
+        tree = build_rtree("hilbert", objects, max_entries=10)
+        clipped = ClippedRTree.wrap(tree, method="stairline")
+        snapshot = ColumnarIndex.from_tree(clipped)
+        rng = random.Random(seed)
+        queries = [_grid_rect(rng, 2) for _ in range(40)]
+        queries += [
+            Rect.from_point((rng.uniform(0, 100), rng.uniform(0, 100))) for _ in range(10)
+        ]
+        results = range_query_batch(snapshot, queries)
+        for query, found in zip(queries, results):
+            expected = {obj.oid for obj in brute_force_range(objects, query)}
+            assert {obj.oid for obj in found} == expected
+
+
+class TestIndexingHelpers:
+    def test_expand_segments_reference(self):
+        rng = random.Random(400)
+        for _ in range(50):
+            n = rng.randint(0, 12)
+            starts = np.array([rng.randint(0, 100) for _ in range(n)], dtype=np.int64)
+            counts = np.array([rng.randint(0, 5) for _ in range(n)], dtype=np.int64)
+            flat, owners = expand_segments(starts, counts)
+            expected_flat, expected_owner = [], []
+            for i, (s, c) in enumerate(zip(starts, counts)):
+                for j in range(c):
+                    expected_flat.append(s + j)
+                    expected_owner.append(i)
+            assert flat.tolist() == expected_flat
+            assert owners.tolist() == expected_owner
+
+    def test_masks_to_bool_reference(self):
+        for dims in (1, 2, 3, 4):
+            masks = np.arange(1 << dims)
+            bools = masks_to_bool(masks, dims)
+            for mask in masks:
+                for bit in range(dims):
+                    assert bools[mask, bit] == bool((mask >> bit) & 1)
+
+    def test_segment_any_reference(self):
+        rng = random.Random(500)
+        for _ in range(50):
+            n_seg = rng.randint(1, 8)
+            owners, flags = [], []
+            for seg in range(n_seg):
+                for _ in range(rng.randint(0, 4)):
+                    owners.append(seg)
+                    flags.append(rng.random() < 0.3)
+            result = segment_any(np.array(flags, dtype=bool), np.array(owners), n_seg)
+            expected = [
+                any(f for o, f in zip(owners, flags) if o == seg) for seg in range(n_seg)
+            ]
+            assert result.tolist() == expected
+
+    def test_segment_any_empty(self):
+        assert segment_any(np.zeros(0, bool), np.zeros(0, np.int64), 3).tolist() == [
+            False,
+            False,
+            False,
+        ]

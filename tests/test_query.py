@@ -6,6 +6,7 @@ from repro.geometry.rect import Rect
 from repro.query.knn import knn_query
 from repro.query.range_query import brute_force_range, execute_workload
 from repro.query.workload import STANDARD_PROFILES, QueryProfile, RangeQueryWorkload
+from repro.rtree.clipped import ClippedRTree
 from repro.rtree.registry import build_rtree
 from repro.storage.stats import IOStats
 from tests.conftest import make_random_objects
@@ -120,3 +121,64 @@ class TestKnn:
         tree = build_rtree("quadratic", objects, max_entries=4)
         with pytest.raises(ValueError):
             knn_query(tree, (0.0, 0.0), k=0)
+
+
+class TestClippedKnn:
+    """kNN over a ClippedRTree traverses the wrapped tree unchanged."""
+
+    def test_knn_on_clipped_matches_unclipped(self):
+        objects = make_random_objects(400, seed=45)
+        tree = build_rtree("rstar", objects, max_entries=10)
+        clipped = ClippedRTree.wrap(tree, method="stairline")
+        for point in [(50.0, 50.0), (0.0, 99.0), (12.5, 80.0)]:
+            plain = knn_query(tree, point, k=8)
+            via_clipped = knn_query(clipped, point, k=8)
+            assert [(d, o.oid) for d, o in via_clipped] == [
+                (d, o.oid) for d, o in plain
+            ]
+
+    def test_knn_on_clipped_matches_brute_force(self):
+        objects = make_random_objects(300, seed=46)
+        tree = build_rtree("hilbert", objects, max_entries=8)
+        clipped = ClippedRTree.wrap(tree, method="skyline")
+        point = (33.0, 66.0)
+        results = knn_query(clipped, point, k=10)
+        brute = sorted(objects, key=lambda o: o.rect.min_distance_sq(point))[:10]
+        assert {o.oid for _, o in results} == {o.oid for o in brute}
+
+    def test_knn_on_clipped_counts_io(self):
+        objects = make_random_objects(300, seed=47)
+        tree = build_rtree("rstar", objects, max_entries=10)
+        clipped = ClippedRTree.wrap(tree)
+        stats = IOStats()
+        knn_query(clipped, (10.0, 10.0), k=3, stats=stats)
+        assert stats.leaf_accesses >= 1
+        assert stats.leaf_accesses < clipped.leaf_count()
+
+
+class TestStatsNonePaths:
+    """Query entry points must all accept the default ``stats=None``."""
+
+    def test_scalar_paths_without_stats(self):
+        objects = make_random_objects(120, seed=48)
+        tree = build_rtree("rstar", objects, max_entries=8)
+        clipped = ClippedRTree.wrap(tree)
+        query = Rect((10.0, 10.0), (30.0, 30.0))
+        assert {o.oid for o in tree.range_query(query)} == {
+            o.oid for o in clipped.range_query(query)
+        }
+        assert knn_query(tree, (5.0, 5.0), k=3)
+        assert knn_query(clipped, (5.0, 5.0), k=3)
+
+    def test_batch_paths_without_stats(self):
+        from repro.engine import ColumnarIndex
+
+        objects = make_random_objects(120, seed=49)
+        tree = build_rtree("rstar", objects, max_entries=8)
+        for index in (tree, ClippedRTree.wrap(tree)):
+            snapshot = ColumnarIndex.from_tree(index)
+            queries = [Rect((10.0, 10.0), (30.0, 30.0)), Rect((200.0, 200.0), (201.0, 201.0))]
+            results = snapshot.range_query_batch(queries)
+            assert len(results) == 2
+            assert results[1] == []
+            assert snapshot.knn_batch([(5.0, 5.0)], k=3)[0]
