@@ -1,0 +1,121 @@
+"""Smoke benchmark: scalar vs vectorized construction throughput.
+
+Builds an STR-packed tree over a uniform 3-d dataset (the paper's heavy
+construction case: 8 corners per node, cubic stairline enumeration),
+verifies that ``clip_all(engine="vectorized")`` fills an *identical*
+``ClipStore``, asserts the acceptance floor (vectorized ≥ 5× scalar),
+and records the measurements — plus informational 2-d clip numbers and
+array-native STR bulk-load numbers — in ``benchmarks/BENCH_build.json``
+so construction-throughput regressions show up in review diffs.
+
+Note the 2-d clip baseline is not floor-enforced: this PR also replaced
+the scalar 2-d skyline with an O(n log n) sweep, so the scalar path the
+2-d ratio is measured against got several times faster itself.
+
+The default scale (``REPRO_BUILD_BENCH_SCALE=1``) uses 20 000 objects to
+keep the tier-1 suite fast; raise it to stress production-scale builds.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.cbb.clipping import ClippingConfig
+from repro.datasets import generate
+from repro.engine import ColumnarIndex, build_columnar_str
+from repro.rtree.clipped import ClippedRTree
+from repro.rtree.registry import build_rtree
+from repro.rtree.str_bulk import str_bulk_load
+
+BENCH_PATH = Path(__file__).resolve().parent / "BENCH_build.json"
+#: Acceptance floor from the issue: vectorized clip_all ≥ 5× scalar.
+MIN_SPEEDUP = 5.0
+MAX_ENTRIES = 48
+
+
+def _scale() -> float:
+    try:
+        return float(os.environ.get("REPRO_BUILD_BENCH_SCALE", "1"))
+    except ValueError:
+        return 1.0
+
+
+def _best_of(fn, repeats):
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def _store_snapshot(store):
+    """Everything the differential contract covers: points, order, bytes."""
+    return (
+        {nid: [(cp.coord, cp.mask, cp.score) for cp in pts] for nid, pts in store.items()},
+        store.storage_bytes(),
+    )
+
+
+def _time_clip_engines(tree, method, scalar_repeats=2, vectorized_repeats=3):
+    clipped = ClippedRTree(tree, ClippingConfig(method=method))
+    clipped.clip_all(engine="scalar")
+    scalar_snapshot = _store_snapshot(clipped.store)
+    clipped.clip_all(engine="vectorized")
+    # The engines must agree before their timing is comparable.
+    assert _store_snapshot(clipped.store) == scalar_snapshot
+    scalar_seconds = _best_of(lambda: clipped.clip_all(engine="scalar"), scalar_repeats)
+    vector_seconds = _best_of(
+        lambda: clipped.clip_all(engine="vectorized"), vectorized_repeats
+    )
+    return {
+        "method": method,
+        "scalar_seconds": round(scalar_seconds, 4),
+        "vectorized_seconds": round(vector_seconds, 4),
+        "speedup": round(scalar_seconds / vector_seconds, 2),
+        "clip_points": clipped.store.total_clip_points(),
+    }
+
+
+def test_build_speedup_smoke():
+    scale = _scale()
+    n_objects = int(20_000 * scale)
+
+    objects_3d = generate("uniform03", n_objects, seed=7)
+    tree_3d = build_rtree("str", objects_3d, max_entries=MAX_ENTRIES)
+    clip_3d = _time_clip_engines(tree_3d, "stairline")
+    clip_3d_skyline = _time_clip_engines(tree_3d, "skyline")
+
+    objects_2d = generate("uniform02", n_objects, seed=7)
+    tree_2d = build_rtree("str", objects_2d, max_entries=MAX_ENTRIES)
+    clip_2d = _time_clip_engines(tree_2d, "stairline")
+
+    # Array-native STR bulk load vs scalar build + freeze (informational).
+    pack_scalar = _best_of(
+        lambda: ColumnarIndex.from_tree(
+            str_bulk_load(objects_3d, max_entries=MAX_ENTRIES)
+        ),
+        2,
+    )
+    pack_vector = _best_of(
+        lambda: build_columnar_str(objects_3d, max_entries=MAX_ENTRIES), 3
+    )
+
+    record = {
+        "objects": n_objects,
+        "scale": scale,
+        "max_entries": MAX_ENTRIES,
+        "clip_uniform03_stairline": clip_3d,
+        "clip_uniform03_skyline": clip_3d_skyline,
+        "clip_uniform02_stairline": clip_2d,
+        "str_pack_scalar_seconds": round(pack_scalar, 4),
+        "str_pack_columnar_seconds": round(pack_vector, 4),
+        "str_pack_speedup": round(pack_scalar / pack_vector, 2),
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    assert clip_3d["speedup"] >= MIN_SPEEDUP, (
+        f"vectorized clip_all only {clip_3d['speedup']:.1f}x faster than scalar "
+        f"(floor {MIN_SPEEDUP}x); see {BENCH_PATH}"
+    )

@@ -56,6 +56,10 @@ class BenchConfig:
     #: Python traversal per query, "columnar" answers whole batches via
     #: the vectorized engine (identical I/O counts, much faster)
     engine: str = "scalar"
+    #: construction engine for clipping whole trees: "scalar" runs
+    #: Algorithm 1 one node at a time, "vectorized" the level-synchronous
+    #: bulk_clip (identical clip points, much faster)
+    build_engine: str = "scalar"
     #: dataset size used by the Figure 15 scalability experiment
     scalability_size: int = 5000
     #: objects per side of the spatial-join experiment

@@ -131,7 +131,7 @@ def run(
                 clipped = ClippedRTree(
                     tree, ClippingConfig(method=method, k=config.clip_k, tau=config.clip_tau)
                 )
-                clipped.clip_all()
+                clipped.clip_all(engine=config.build_engine)
                 indexes[label] = clipped
             # Freeze each index once, not once per profile.
             snapshots = (

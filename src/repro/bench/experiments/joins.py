@@ -45,9 +45,9 @@ def run(
         indexed_dendrites = build_rtree(variant, dendrites, max_entries=config.max_entries)
         clip_config = ClippingConfig(method=method, k=config.clip_k, tau=config.clip_tau)
         clipped_axons = ClippedRTree(indexed_axons, clip_config)
-        clipped_axons.clip_all()
+        clipped_axons.clip_all(engine=config.build_engine)
         clipped_dendrites = ClippedRTree(indexed_dendrites, clip_config)
-        clipped_dendrites.clip_all()
+        clipped_dendrites.clip_all(engine=config.build_engine)
 
         inlj_plain = index_nested_loop_join(dendrites, indexed_axons, collect_pairs=False)
         inlj_clip = index_nested_loop_join(dendrites, clipped_axons, collect_pairs=False)

@@ -74,7 +74,7 @@ class ExperimentContext:
         key = (id(tree), method, k, tau)
         if key not in self._clipped:
             clipped = ClippedRTree(tree, ClippingConfig(method=method, k=k, tau=tau))
-            clipped.clip_all()
+            clipped.clip_all(engine=self.config.build_engine)
             self._clipped[key] = clipped
         return self._clipped[key]
 

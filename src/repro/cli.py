@@ -112,6 +112,8 @@ def _make_config(args: argparse.Namespace) -> BenchConfig:
         config.max_entries = args.max_entries
     if getattr(args, "engine", None) is not None:
         config.engine = args.engine
+    if getattr(args, "build_engine", None) is not None:
+        config.build_engine = args.build_engine
     return config
 
 
@@ -156,7 +158,7 @@ def _cmd_build_info(args: argparse.Namespace) -> int:
     print(format_table([stats.as_row()], title=f"{args.variant} over {args.dataset}"))
     print(f"average dead space per node: {100 * average_dead_space(tree):.1f}%")
     for method in ("skyline", "stairline"):
-        clipped = ClippedRTree.wrap(tree, method=method)
+        clipped = ClippedRTree.wrap(tree, method=method, engine=config.build_engine)
         summary = clipped_dead_space_summary(clipped)
         print(
             f"{method:10s}: {100 * summary.clipped_share_of_dead_space:5.1f}% of dead space clipped, "
@@ -192,6 +194,12 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--size", type=int, default=None, help="objects per dataset")
         sub.add_argument("--queries", type=int, default=None, help="queries per profile")
         sub.add_argument("--max-entries", type=int, default=None, help="node capacity")
+        sub.add_argument(
+            "--build-engine",
+            choices=("scalar", "vectorized"),
+            default=None,
+            help="clip-point construction engine (vectorized = level-synchronous bulk_clip)",
+        )
     return parser
 
 

@@ -1,17 +1,34 @@
-"""Columnar batch query engine.
+"""Columnar batch engine: vectorized querying *and* construction.
 
-Freezes any R-tree variant (plain or clipped) into contiguous NumPy
-arrays and answers whole query batches through vectorized kernels — the
-fast path behind ``execute_workload(..., engine="columnar")``, the
-``--engine columnar`` CLI flag, and the fig11/fig15 experiments.
+Querying (PR 1): freeze any R-tree variant (plain or clipped) into
+contiguous NumPy arrays and answer whole query batches through
+vectorized kernels — the fast path behind
+``execute_workload(..., engine="columnar")``, the ``--engine columnar``
+CLI flag, and the fig11/fig15 experiments.
 
-See :mod:`repro.engine.columnar` for the snapshot layout and its
-invalidation semantics, :mod:`repro.engine.kernels` for the scalar↔array
-predicate correspondence, and ``tests/test_engine_differential.py`` for
-the harness that pins batch ≡ scalar ≡ brute force.
+Construction (the build-side twin): :func:`build_columnar_str` STR-packs
+objects straight into a :class:`ColumnarIndex` with no intermediate
+Python nodes, and :func:`bulk_clip` computes the paper's Algorithm 1 for
+whole tree levels at once — the path behind
+``ClippedRTree.clip_all(engine="vectorized")``, the ``--build-engine``
+CLI flag, and ``BenchConfig.build_engine``.
+
+See :mod:`repro.engine.columnar` for the snapshot layout,
+:mod:`repro.engine.kernels` / :mod:`repro.engine.clip_kernels` for the
+scalar↔array predicate correspondences, and
+``tests/test_engine_differential.py`` / ``tests/test_build_differential.py``
+for the harnesses pinning batch ≡ scalar.
 """
 
+from repro.engine.builder import build_columnar_str
+from repro.engine.bulk_clip import bulk_clip
 from repro.engine.columnar import ColumnarIndex
 from repro.engine.executor import knn_batch, range_query_batch
 
-__all__ = ["ColumnarIndex", "knn_batch", "range_query_batch"]
+__all__ = [
+    "ColumnarIndex",
+    "build_columnar_str",
+    "bulk_clip",
+    "knn_batch",
+    "range_query_batch",
+]

@@ -1,0 +1,240 @@
+"""Vectorized NumPy kernels for batched clip-point construction.
+
+Each kernel is the array analogue of one scalar building block of the
+paper's Algorithm 1, batched over a leading *group* axis (one row per
+node of a tree level):
+
+==============================  =============================================
+:func:`skyline_mask_batch`      :func:`repro.skyline.skyline.oriented_skyline_indices`
+:func:`splice_candidates`       :func:`repro.skyline.stairline.splice_point`
+                                over all skyline pairs
+:func:`stair_invalid_mask`      the validity probe of
+                                :func:`repro.skyline.stairline.stairline_points`
+                                (``strictly_inside_corner_region``)
+:func:`clip_volumes`            :func:`repro.cbb.scoring.clip_volume`
+:func:`overlap_volumes`         ``repro.cbb.scoring._same_corner_overlap``
+:func:`segment_first_argmax`    ``max(range(n), key=volumes.__getitem__)``
+==============================  =============================================
+
+Corner bitmasks arrive pre-expanded as an ``is_high`` boolean vector (bit
+``i`` set -> max extent in dimension ``i``, see
+:func:`repro.engine.kernels.masks_to_bool`).  All comparisons are exact
+float64 comparisons and all volume products accumulate dimension by
+dimension in dimension order, so every kernel computes *bit for bit* what
+its scalar counterpart does — ``tests/test_clip_kernels.py`` pins each
+correspondence and ``tests/test_build_differential.py`` pins the composed
+pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def sequential_prod(values: np.ndarray) -> np.ndarray:
+    """Product over the last axis, accumulated in dimension order.
+
+    ``np.prod`` is free to re-associate the reduction; the scalar scoring
+    code multiplies dimension by dimension, and matching it bit for bit
+    requires the same association order.
+    """
+    out = values[..., 0].copy()
+    for dim in range(1, values.shape[-1]):
+        out *= values[..., dim]
+    return out
+
+
+def orient(points: np.ndarray, is_high: np.ndarray) -> np.ndarray:
+    """Flip max-extent dimensions so smaller always means closer to the corner.
+
+    Negation is exact in IEEE-754 and order-reversing, so every oriented
+    comparison decides exactly what the mask-dispatched scalar comparison
+    decides — it just lets the batched kernels run one uniform ``<``/``<=``
+    instead of a per-dimension ``np.where`` over quadratic intermediates.
+    """
+    return np.where(is_high, -points, points)
+
+
+def skyline_mask_batch(points: np.ndarray, is_high: np.ndarray) -> np.ndarray:
+    """Oriented-skyline membership for a batch of equal-size point sets.
+
+    ``points`` is ``(g, c, d)`` — ``g`` nodes with ``c`` corner points
+    each; ``is_high`` is the ``(d,)`` boolean expansion of the corner
+    bitmask.  Returns a ``(g, c)`` boolean mask that is True exactly for
+    the indices :func:`~repro.skyline.skyline.oriented_skyline_indices`
+    would return: points not dominated by any other point of their group
+    and not duplicating an earlier point.
+
+    Mirrors the scalar dispatch: 2-d runs a batched sort-based sweep,
+    higher dimensions the batched pairwise filter.
+    """
+    if points.shape[-1] == 2:
+        return _skyline_mask_2d(points, is_high)
+    return _skyline_mask_pairwise(points, is_high)
+
+
+def _skyline_mask_2d(points: np.ndarray, is_high: np.ndarray) -> np.ndarray:
+    """Batched 2-d skyline sweep: one lexsort + one per-row running minimum.
+
+    The group-wide form of ``_skyline_2d_indices``: order each node's
+    oriented points by ``(key0, key1, position)`` and keep exactly those
+    that strictly improve the running minimum of ``key1``.
+    """
+    g, c, _ = points.shape
+    oriented = orient(points, is_high)
+    key0 = oriented[:, :, 0].reshape(-1)
+    key1 = oriented[:, :, 1].reshape(-1)
+    owner = np.repeat(np.arange(g, dtype=np.int64), c)
+    position = np.tile(np.arange(c, dtype=np.int64), g)
+    order = np.lexsort((position, key1, key0, owner))
+    key1_sorted = key1[order].reshape(g, c)
+    running_min = np.minimum.accumulate(key1_sorted, axis=1)
+    improves = np.empty((g, c), dtype=bool)
+    improves[:, 0] = True
+    improves[:, 1:] = key1_sorted[:, 1:] < running_min[:, :-1]
+    mask = np.zeros(g * c, dtype=bool)
+    mask[order[improves.reshape(-1)]] = True
+    return mask.reshape(g, c)
+
+
+def _skyline_mask_pairwise(points: np.ndarray, is_high: np.ndarray) -> np.ndarray:
+    """Batched pairwise dominance filter (any dimensionality).
+
+    Works on oriented coordinates, one ``(g, c, c)`` comparison per
+    dimension: ``closer[j, i]`` holds when point ``j`` is at least as
+    close to the corner as point ``i`` in every dimension.  ``j``
+    eliminates ``i`` when it is closer and not coordinate-equal
+    (dominance) or equal but earlier (the first-occurrence dedup).
+    """
+    oriented = orient(points, is_high)
+    closer = None
+    for dim in range(points.shape[-1]):
+        le = oriented[:, :, None, dim] <= oriented[:, None, :, dim]
+        closer = le if closer is None else closer & le
+    equal = closer & closer.swapaxes(1, 2)
+    c = points.shape[1]
+    earlier = np.triu(np.ones((c, c), dtype=bool), k=1)  # earlier[j, i]: j < i
+    eliminated = (closer & (~equal | earlier)).any(axis=1)
+    return ~eliminated
+
+
+def splice_candidates(
+    skylines: np.ndarray, is_high: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All pairwise splice points of equal-size skylines (Definition 6).
+
+    ``skylines`` is ``(g, s, d)``.  Splicing uses the corner *opposite*
+    ``is_high`` — max on cleared bits, min on set bits — exactly as the
+    scalar ``splice_point(p, q, flip_mask(mask))``.  Returns
+    ``(candidates, i_idx, j_idx)`` where ``candidates`` is ``(g, p, d)``
+    with pairs enumerated in the scalar double-loop order (``i < j``,
+    row-major) and ``i_idx``/``j_idx`` name each pair's sources.
+    """
+    s = skylines.shape[1]
+    i_idx, j_idx = np.triu_indices(s, k=1)
+    a = skylines[:, i_idx, :]
+    b = skylines[:, j_idx, :]
+    candidates = np.where(is_high, np.minimum(a, b), np.maximum(a, b))
+    return candidates, i_idx, j_idx
+
+
+def stair_invalid_mask(
+    skylines: np.ndarray, candidates: np.ndarray, is_high: np.ndarray
+) -> np.ndarray:
+    """True where a splice candidate's clip region swallows a skyline point.
+
+    ``skylines`` is ``(g, s, d)``, ``candidates`` ``(g, p, d)``.  A
+    candidate is invalid when any skyline point lies *strictly* inside
+    the region between the candidate and the ``is_high`` corner
+    (``strictly_inside_corner_region``); boundary contact never
+    invalidates.  Returns ``(g, p)``.
+    """
+    o_sky = orient(skylines, is_high)
+    o_cand = orient(candidates, is_high)
+    inside = None
+    for dim in range(skylines.shape[-1]):
+        lt = o_sky[:, None, :, dim] < o_cand[:, :, None, dim]
+        inside = lt if inside is None else inside & lt
+    return inside.any(axis=-1)
+
+
+def equals_any_point(candidates: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Rows of ``candidates`` exactly equal to some row of ``points``.
+
+    ``candidates`` is ``(g, p, d)``, ``points`` ``(g, s, d)``; returns a
+    ``(g, p)`` boolean mask.  The scalar stairline enumeration seeds its
+    dedup set with the skyline points; this is that membership test.
+    """
+    eq = None
+    for dim in range(candidates.shape[-1]):
+        e = candidates[:, :, None, dim] == points[:, None, :, dim]
+        eq = e if eq is None else eq & e
+    return eq.any(axis=-1)
+
+
+def first_occurrence_mask(rows: np.ndarray, owners: np.ndarray) -> np.ndarray:
+    """True for rows that first introduce their coordinates within an owner.
+
+    ``rows`` is ``(n, d)`` and ``owners`` ``(n,)``; a row is kept when no
+    earlier row (smaller index) of the *same owner* has identical
+    coordinates — the vectorized form of the scalar ``seen``-set dedup,
+    evaluated in original row order via a stable lexsort.
+    """
+    n = len(rows)
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    keys = [np.arange(n)]
+    for dim in range(rows.shape[1] - 1, -1, -1):
+        keys.append(rows[:, dim])
+    keys.append(owners)
+    order = np.lexsort(tuple(keys))
+    sorted_rows = rows[order]
+    same_as_prev = (sorted_rows[1:] == sorted_rows[:-1]).all(axis=1) & (
+        owners[order][1:] == owners[order][:-1]
+    )
+    first = np.ones(n, dtype=bool)
+    first[order[1:]] = ~same_as_prev
+    return first
+
+
+def clip_volumes(points: np.ndarray, corner: np.ndarray) -> np.ndarray:
+    """Volume clipped between each point and the node corner.
+
+    The array analogue of ``clip_volume``: the product over dimensions of
+    ``abs(corner - point)``, accumulated in dimension order.  ``corner``
+    broadcasts against ``points`` over the leading axes.
+    """
+    return sequential_prod(np.abs(corner - points))
+
+
+def overlap_volumes(
+    points: np.ndarray, best: np.ndarray, corner: np.ndarray
+) -> np.ndarray:
+    """Overlap of each candidate's clip region with the best candidate's.
+
+    The array analogue of ``_same_corner_overlap``: per dimension the
+    overlap extent is the smaller of the two corner distances.
+    """
+    return sequential_prod(
+        np.minimum(np.abs(corner - points), np.abs(corner - best))
+    )
+
+
+def segment_first_argmax(
+    values: np.ndarray, starts: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """Flat index of the *first* maximum inside each contiguous segment.
+
+    Segments must be non-empty, in ascending order, and tile ``values``
+    completely (``starts[i+1] == starts[i] + counts[i]``) — the layout
+    the bulk-clip orchestrator produces.  Matches the scalar
+    ``max(range(n), key=volumes.__getitem__)`` tie-breaking (lowest index
+    wins).
+    """
+    seg_max = np.maximum.reduceat(values, starts)
+    owners = np.repeat(np.arange(len(starts), dtype=np.int64), counts)
+    position = np.arange(len(values), dtype=np.int64)
+    at_max = values == seg_max[owners]
+    return np.minimum.reduceat(np.where(at_max, position, len(values)), starts)

@@ -53,7 +53,7 @@ class ColumnarIndex:
 
     def __init__(
         self,
-        source: Union[RTreeBase, ClippedRTree],
+        source: Union[RTreeBase, ClippedRTree, None],
         dims: int,
         is_leaf: np.ndarray,
         entry_start: np.ndarray,
@@ -188,8 +188,8 @@ class ColumnarIndex:
         )
 
     @staticmethod
-    def _version_of(index: Union[RTreeBase, ClippedRTree]) -> object:
-        return index.version
+    def _version_of(index: Union[RTreeBase, ClippedRTree, None]) -> object:
+        return None if index is None else index.version
 
     # ------------------------------------------------------------------
     # staleness
@@ -201,12 +201,21 @@ class ColumnarIndex:
 
         Inserts and deletes on the source (and re-clipping, for clipped
         sources) bump its ``version``; a stale snapshot still answers
-        queries, but against the state at freeze time.
+        queries, but against the state at freeze time.  Snapshots built
+        without a source tree (``repro.engine.builder``) are never stale.
         """
+        if self.source is None:
+            return False
         return self._version_of(self.source) != self.source_version
 
     def refresh(self) -> "ColumnarIndex":
-        """A fresh snapshot of the (possibly mutated) source tree."""
+        """A fresh snapshot of the (possibly mutated) source tree.
+
+        A source-free snapshot (array-native bulk load) has nothing to
+        re-freeze and returns itself.
+        """
+        if self.source is None:
+            return self
         return ColumnarIndex.from_tree(self.source)
 
     # ------------------------------------------------------------------

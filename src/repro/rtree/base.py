@@ -57,6 +57,21 @@ class DeleteResult:
     added_rects: Dict[int, List[Rect]] = field(default_factory=dict)
 
 
+def resolve_min_entries(max_entries: int, min_entries: Optional[int] = None) -> int:
+    """The effective node minimum fill for a given capacity.
+
+    Defaults to the usual 40 % of capacity and clamps into
+    ``[1, max_entries // 2]``.  Shared by every tree constructor *and* the
+    array-native STR builder (:mod:`repro.engine.builder`), whose packing
+    must stay decision-for-decision identical to the scalar trees'.
+    """
+    if min_entries is None:
+        min_entries = max(2, int(round(0.4 * max_entries)))
+    if not 1 <= min_entries <= max_entries // 2:
+        min_entries = max(1, max_entries // 2)
+    return min_entries
+
+
 class RTreeBase:
     """Abstract R-tree; concrete variants provide subtree choice and split."""
 
@@ -69,11 +84,7 @@ class RTreeBase:
             raise ValueError("max_entries must be at least 2")
         self.dims = dims
         self.max_entries = max_entries
-        self.min_entries = (
-            min_entries if min_entries is not None else max(2, int(round(0.4 * max_entries)))
-        )
-        if not 1 <= self.min_entries <= max_entries // 2:
-            self.min_entries = max(1, max_entries // 2)
+        self.min_entries = resolve_min_entries(max_entries, min_entries)
         self._nodes: Dict[int, Node] = {}
         self._next_id = 0
         root = self._new_node(level=0)

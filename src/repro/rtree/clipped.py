@@ -101,6 +101,9 @@ class ClippedRTree:
     # construction
     # ------------------------------------------------------------------
 
+    #: Engines understood by :meth:`clip_all`.
+    CLIP_ENGINES = ("scalar", "vectorized")
+
     @classmethod
     def wrap(
         cls,
@@ -108,14 +111,35 @@ class ClippedRTree:
         method: str = "stairline",
         k: Optional[int] = None,
         tau: float = 0.025,
+        engine: str = "scalar",
     ) -> "ClippedRTree":
         """Clip every node of an already-built tree and return the wrapper."""
         clipped = cls(tree, ClippingConfig(method=method, k=k, tau=tau))
-        clipped.clip_all()
+        clipped.clip_all(engine=engine)
         return clipped
 
-    def clip_all(self) -> int:
-        """(Re)compute clip points for every node; returns nodes clipped."""
+    def clip_all(self, engine: str = "scalar") -> int:
+        """(Re)compute clip points for every node; returns nodes clipped.
+
+        ``engine`` selects the construction path:
+
+        * ``"scalar"`` (default) — one ``compute_clip_points`` call per
+          node, exactly Algorithm 1;
+        * ``"vectorized"`` — the level-synchronous
+          :func:`repro.engine.bulk_clip.bulk_clip`, which fills the store
+          with identical clip points (values, ordering, scores) through
+          batched NumPy kernels — much faster on large trees.
+        """
+        if engine not in self.CLIP_ENGINES:
+            raise ValueError(
+                f"unknown clip engine {engine!r}; known: {self.CLIP_ENGINES}"
+            )
+        if engine == "vectorized":
+            # Imported lazily: the scalar path must not require NumPy.
+            from repro.engine.bulk_clip import bulk_clip
+
+            bulk_clip(self.tree, self.config, store=self.store)
+            return len(self.store)
         self.store.clear()
         count = 0
         for node in self.tree.nodes():

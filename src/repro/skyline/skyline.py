@@ -10,6 +10,7 @@ exactly the set of valid object-situated clip points for that corner
 
 from __future__ import annotations
 
+import math
 from typing import List, Sequence, Tuple
 
 from repro.geometry.dominance import dominates
@@ -21,11 +22,48 @@ def oriented_skyline_indices(points: Sequence[Point], mask: int) -> List[int]:
     """Indices of the skyline of ``points`` with respect to corner ``mask``.
 
     Duplicate points are reported once (the first occurrence wins), because
-    a duplicate contributes no additional clipping power.  Runs the classic
-    O(n^2) pairwise filter, which is the right trade-off for R-tree node
-    fan-outs (tens of points); a sort-based O(n log n) method would only
-    help in 2d.
+    a duplicate contributes no additional clipping power.  The 2-d case
+    runs a sort-based O(n log n) sweep; higher dimensions fall back to the
+    classic O(n^2) pairwise filter (a sweep no longer works there because
+    dominance is not a total order restricted to one axis).  Both paths
+    return the same indices in the same (increasing) order —
+    ``tests/test_skyline.py`` pins the equivalence with a property test.
     """
+    if points and len(points[0]) == 2:
+        return _skyline_2d_indices(points, mask)
+    return _skyline_pairwise_indices(points, mask)
+
+
+def _skyline_2d_indices(points: Sequence[Point], mask: int) -> List[int]:
+    """Sort-based sweep for the 2-d skyline.
+
+    Orient both axes so that a *smaller* key means closer to the corner,
+    then scan in (key0, key1, index) order keeping a running minimum of
+    key1: a point is on the skyline iff it strictly improves that minimum.
+    Points failing the strict test are either dominated (some earlier
+    point is at least as close on both axes and strictly closer on one) or
+    duplicates of an earlier skyline point, exactly the set the pairwise
+    filter drops.
+    """
+    sign0 = -1.0 if mask & 1 else 1.0
+    sign1 = -1.0 if mask & 2 else 1.0
+    order = sorted(
+        range(len(points)),
+        key=lambda i: (sign0 * points[i][0], sign1 * points[i][1], i),
+    )
+    skyline: List[int] = []
+    best1 = math.inf
+    for i in order:
+        key1 = sign1 * points[i][1]
+        if key1 < best1:
+            skyline.append(i)
+            best1 = key1
+    skyline.sort()
+    return skyline
+
+
+def _skyline_pairwise_indices(points: Sequence[Point], mask: int) -> List[int]:
+    """O(n^2) pairwise dominance filter (any dimensionality)."""
     skyline: List[int] = []
     seen: set = set()
     for i, p in enumerate(points):

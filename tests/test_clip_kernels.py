@@ -1,0 +1,213 @@
+"""Property tests: each batched clip kernel ≡ its scalar counterpart.
+
+Every kernel in :mod:`repro.engine.clip_kernels` claims bit-exact
+agreement with one scalar building block of Algorithm 1; these seeded
+hypothesis suites pin each claim on adversarial inputs (grid-valued
+coordinates so ties, duplicates, and shared corners occur constantly).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cbb.scoring import _same_corner_overlap, clip_volume, score_clip_candidates
+from repro.engine.clip_kernels import (
+    _skyline_mask_2d,
+    _skyline_mask_pairwise,
+    clip_volumes,
+    equals_any_point,
+    first_occurrence_mask,
+    overlap_volumes,
+    segment_first_argmax,
+    sequential_prod,
+    skyline_mask_batch,
+    splice_candidates,
+    stair_invalid_mask,
+)
+from repro.engine.kernels import masks_to_bool
+from repro.geometry.rect import Rect, mbb_of_points
+from repro.skyline.skyline import _skyline_pairwise_indices, oriented_skyline
+from repro.skyline.stairline import stairline_points
+
+#: Grid-heavy coordinates: duplicates and axis ties with high probability.
+coord = st.one_of(
+    st.integers(min_value=0, max_value=5).map(float),
+    st.floats(min_value=0, max_value=10, allow_nan=False, allow_infinity=False, width=16),
+)
+
+
+def _point_groups(dims, max_group=10, max_points=12):
+    return st.lists(
+        st.lists(st.tuples(*[coord] * dims), min_size=1, max_size=max_points),
+        min_size=1,
+        max_size=max_group,
+    )
+
+
+def _pad_groups(groups, dims):
+    """Stack variable-size groups into a dense (g, c, d) array by padding
+    each group with repeats of its first point (repeats never change a
+    skyline beyond the dedup the kernels already implement)."""
+    count = max(len(g) for g in groups)
+    padded = [list(g) + [g[0]] * (count - len(g)) for g in groups]
+    return np.array(padded, dtype=np.float64), count
+
+
+class TestSkylineKernel:
+    @given(_point_groups(dims=2), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=120)
+    def test_matches_scalar_per_group_2d(self, groups, mask):
+        is_high = masks_to_bool(np.array([mask]), 2)[0]
+        for group in groups:
+            points = np.array([group], dtype=np.float64)
+            expected = np.zeros(len(group), dtype=bool)
+            expected[_skyline_pairwise_indices(group, mask)] = True
+            assert np.array_equal(skyline_mask_batch(points, is_high)[0], expected)
+
+    @given(_point_groups(dims=3), st.integers(min_value=0, max_value=7))
+    @settings(max_examples=120)
+    def test_matches_scalar_per_group_3d(self, groups, mask):
+        is_high = masks_to_bool(np.array([mask]), 3)[0]
+        for group in groups:
+            points = np.array([group], dtype=np.float64)
+            expected = np.zeros(len(group), dtype=bool)
+            expected[_skyline_pairwise_indices(group, mask)] = True
+            assert np.array_equal(skyline_mask_batch(points, is_high)[0], expected)
+
+    @given(_point_groups(dims=2), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=80)
+    def test_2d_sweep_equals_batched_pairwise(self, groups, mask):
+        is_high = masks_to_bool(np.array([mask]), 2)[0]
+        points, _ = _pad_groups(groups, 2)
+        assert np.array_equal(
+            _skyline_mask_2d(points, is_high),
+            _skyline_mask_pairwise(points, is_high),
+        )
+
+
+class TestStairlineKernels:
+    @given(_point_groups(dims=2, max_group=6), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=100)
+    def test_composed_candidates_match_scalar_stairline_2d(self, groups, mask):
+        self._check(groups, mask, dims=2)
+
+    @given(_point_groups(dims=3, max_group=4), st.integers(min_value=0, max_value=7))
+    @settings(max_examples=60)
+    def test_composed_candidates_match_scalar_stairline_3d(self, groups, mask):
+        self._check(groups, mask, dims=3)
+
+    @staticmethod
+    def _check(groups, mask, dims):
+        """splice ∘ validity ∘ dedup over each group ≡ stairline_points."""
+        is_high = masks_to_bool(np.array([mask]), dims)[0]
+        for group in groups:
+            skyline = oriented_skyline(group, mask)
+            if len(skyline) < 2:
+                continue
+            sky = np.array([skyline], dtype=np.float64)
+            cands, _, _ = splice_candidates(sky, is_high)
+            bad = stair_invalid_mask(sky, cands, is_high) | equals_any_point(cands, sky)
+            flat = cands.reshape(-1, dims)
+            owners = np.zeros(len(flat), dtype=np.int64)
+            keep = first_occurrence_mask(flat, owners) & ~bad.reshape(-1)
+            got = [tuple(row) for row in flat[keep]]
+            assert got == stairline_points(skyline, mask, dims)
+
+
+class TestScoringKernels:
+    @given(st.lists(st.tuples(coord, coord, coord), min_size=1, max_size=16))
+    @settings(max_examples=100)
+    def test_sequential_prod_matches_scalar_accumulation(self, rows):
+        values = np.array(rows, dtype=np.float64)
+        expected = []
+        for row in rows:
+            acc = 1.0
+            for x in row:
+                acc *= x
+            expected.append(acc)
+        assert np.array_equal(sequential_prod(values), np.array(expected))
+
+    @given(
+        st.lists(st.tuples(coord, coord), min_size=1, max_size=12),
+        st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=100)
+    def test_volumes_overlaps_and_selection_match_scalar_scoring(self, pts, mask):
+        mbb = mbb_of_points(pts + [(0.0, 0.0), (10.0, 10.0)])
+        corner = np.array(mbb.corner(mask))
+        arr = np.array(pts, dtype=np.float64)
+        vols = clip_volumes(arr, corner)
+        assert vols.tolist() == [clip_volume(p, mask, mbb) for p in pts]
+
+        best_index = max(range(len(pts)), key=vols.tolist().__getitem__)
+        starts = np.array([0])
+        counts = np.array([len(pts)])
+        assert segment_first_argmax(vols, starts, counts)[0] == best_index
+
+        best = arr[best_index]
+        overlaps = overlap_volumes(arr, best, corner)
+        assert overlaps.tolist() == [
+            _same_corner_overlap(p, tuple(best), mask, mbb) for p in pts
+        ]
+
+        # And the composed per-corner scoring matches score_clip_candidates.
+        scored = score_clip_candidates(pts, mask, mbb)
+        kernel_scores = np.where(
+            np.arange(len(pts)) == best_index, vols, vols - overlaps
+        )
+        order = np.lexsort((np.arange(len(pts)), -kernel_scores))
+        got = [(tuple(arr[i]), float(kernel_scores[i])) for i in order]
+        assert got == [(cp.coord, cp.score) for cp in scored]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=1, max_size=30
+        )
+    )
+    @settings(max_examples=80)
+    def test_segment_first_argmax_multi_segment(self, raw):
+        values = np.array([float(a) for a, _ in raw])
+        # Split into segments at pseudo-random boundaries derived from data.
+        bounds = sorted({0, *[i for i, (_, b) in enumerate(raw) if b == 0 and i > 0]})
+        starts = np.array(bounds, dtype=np.int64)
+        counts = np.diff(np.append(starts, len(values)))
+        got = segment_first_argmax(values, starts, counts)
+        for seg, (start, count) in enumerate(zip(starts, counts)):
+            chunk = values[start : start + count].tolist()
+            expected = start + max(range(count), key=chunk.__getitem__)
+            assert got[seg] == expected
+
+
+class TestDedupKernel:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 2)),
+            min_size=0,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100)
+    def test_first_occurrence_mask_matches_seen_set(self, raw):
+        rows = np.array([(float(a), float(b)) for a, b, _ in raw], dtype=np.float64)
+        rows = rows.reshape(-1, 2)
+        owners = np.array([g % 3 for _, _, g in raw], dtype=np.int64)
+        seen = set()
+        expected = []
+        for owner, row in zip(owners.tolist(), rows.tolist()):
+            key = (owner, tuple(row))
+            expected.append(key not in seen)
+            seen.add(key)
+        assert first_occurrence_mask(rows, owners).tolist() == expected
+
+
+class TestBatchConsistency:
+    """Batching many groups must decide each group as if it were alone."""
+
+    @given(_point_groups(dims=3, max_group=8, max_points=6), st.integers(0, 7))
+    @settings(max_examples=60)
+    def test_skyline_batch_equals_one_group_at_a_time(self, groups, mask):
+        is_high = masks_to_bool(np.array([mask]), 3)[0]
+        points, count = _pad_groups(groups, 3)
+        batched = skyline_mask_batch(points, is_high)
+        for gi in range(len(groups)):
+            single = skyline_mask_batch(points[gi : gi + 1], is_high)[0]
+            assert np.array_equal(batched[gi], single)

@@ -1,7 +1,13 @@
 """Unit tests for the oriented skyline (Definition 5)."""
 
+from hypothesis import given, settings, strategies as st
+
 from repro.geometry.dominance import dominates
-from repro.skyline.skyline import oriented_skyline, oriented_skyline_indices
+from repro.skyline.skyline import (
+    _skyline_pairwise_indices,
+    oriented_skyline,
+    oriented_skyline_indices,
+)
 
 
 class TestOrientedSkyline:
@@ -62,3 +68,32 @@ class TestOrientedSkyline:
         indices = oriented_skyline_indices(points, 0b00)
         assert 1 in indices
         assert all(points[i] in points for i in indices)
+
+
+#: Coordinates drawn from a small grid so duplicates and shared
+#: coordinates (the tricky tie cases of the sweep) occur frequently.
+_grid_coord = st.one_of(
+    st.integers(min_value=0, max_value=6).map(float),
+    st.floats(min_value=0, max_value=10, allow_nan=False, allow_infinity=False, width=32),
+)
+
+
+class TestSweepEquivalence:
+    """The 2-d sort-based sweep must match the pairwise filter exactly."""
+
+    @given(
+        st.lists(st.tuples(_grid_coord, _grid_coord), min_size=1, max_size=40),
+        st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=200)
+    def test_sweep_matches_pairwise_filter_2d(self, points, mask):
+        assert oriented_skyline_indices(points, mask) == _skyline_pairwise_indices(
+            points, mask
+        )
+
+    def test_3d_still_uses_pairwise_filter(self):
+        points = [(1.0, 2.0, 3.0), (0.0, 0.0, 0.0), (2.0, 2.0, 2.0)]
+        for mask in range(8):
+            assert oriented_skyline_indices(points, mask) == _skyline_pairwise_indices(
+                points, mask
+            )
