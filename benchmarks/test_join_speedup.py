@@ -1,0 +1,136 @@
+"""Smoke benchmark: scalar vs columnar spatial-join throughput.
+
+Builds clipped STR-packed indexes over the §V axon/dendrite workload,
+verifies that the columnar joins reproduce the scalar joins exactly
+(pair counts and leaf accesses), asserts the acceptance floor (columnar
+INLJ and STT each ≥ 3× scalar), and records the measurements in
+``benchmarks/BENCH_joins.json`` so join-throughput regressions show up
+in review diffs.
+
+The default scale (``REPRO_JOIN_BENCH_SCALE=1``) uses 6 000 objects per
+side to keep the tier-1 suite fast; raise it to stress
+production-scale joins.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.datasets.neurites import NeuriteGenerator
+from repro.engine import ColumnarIndex, inlj_batch, stt_batch
+from repro.join.inlj import index_nested_loop_join
+from repro.join.stt import synchronized_tree_traversal_join
+from repro.rtree.clipped import ClippedRTree
+from repro.rtree.registry import build_rtree
+
+BENCH_PATH = Path(__file__).resolve().parent / "BENCH_joins.json"
+#: Acceptance floor from the issue: each columnar join ≥ 3× its scalar twin.
+MIN_SPEEDUP = 3.0
+MAX_ENTRIES = 32
+
+
+def _scale() -> float:
+    try:
+        return float(os.environ.get("REPRO_JOIN_BENCH_SCALE", "1"))
+    except ValueError:
+        return 1.0
+
+
+def _best_of(fn, repeats):
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def _leaf_profile(result):
+    return (
+        result.pair_count,
+        result.outer_stats.leaf_accesses,
+        result.outer_stats.contributing_leaf_accesses,
+        result.inner_stats.leaf_accesses,
+        result.inner_stats.contributing_leaf_accesses,
+    )
+
+
+def test_join_speedup_smoke():
+    scale = _scale()
+    n_objects = int(6_000 * scale)
+
+    extent = 500.0
+    axons = NeuriteGenerator(kind="axon", extent=extent).generate(n_objects, seed=7)
+    dendrites = NeuriteGenerator(kind="dendrite", extent=extent).generate(
+        n_objects, seed=8
+    )
+    axon_index = ClippedRTree.wrap(
+        build_rtree("str", axons, max_entries=MAX_ENTRIES),
+        method="stairline",
+        engine="vectorized",
+    )
+    dendrite_index = ClippedRTree.wrap(
+        build_rtree("str", dendrites, max_entries=MAX_ENTRIES),
+        method="stairline",
+        engine="vectorized",
+    )
+
+    freeze_start = time.perf_counter()
+    axon_snapshot = ColumnarIndex.from_tree(axon_index)
+    dendrite_snapshot = ColumnarIndex.from_tree(dendrite_index)
+    freeze_seconds = time.perf_counter() - freeze_start
+
+    # The engines must agree before their timing is comparable.
+    scalar_inlj = index_nested_loop_join(dendrites, axon_index, collect_pairs=False)
+    batch_inlj = inlj_batch(dendrites, axon_snapshot, collect_pairs=False)
+    assert _leaf_profile(batch_inlj) == _leaf_profile(scalar_inlj)
+    scalar_stt = synchronized_tree_traversal_join(
+        axon_index, dendrite_index, collect_pairs=False
+    )
+    batch_stt = stt_batch(axon_snapshot, dendrite_snapshot, collect_pairs=False)
+    assert _leaf_profile(batch_stt) == _leaf_profile(scalar_stt)
+    assert scalar_stt.pair_count == scalar_inlj.pair_count > 0
+
+    inlj_scalar_seconds = _best_of(
+        lambda: index_nested_loop_join(dendrites, axon_index, collect_pairs=False), 2
+    )
+    inlj_batch_seconds = _best_of(
+        lambda: inlj_batch(dendrites, axon_snapshot, collect_pairs=False), 3
+    )
+    stt_scalar_seconds = _best_of(
+        lambda: synchronized_tree_traversal_join(
+            axon_index, dendrite_index, collect_pairs=False
+        ),
+        2,
+    )
+    stt_batch_seconds = _best_of(
+        lambda: stt_batch(axon_snapshot, dendrite_snapshot, collect_pairs=False), 3
+    )
+    inlj_speedup = inlj_scalar_seconds / inlj_batch_seconds
+    stt_speedup = stt_scalar_seconds / stt_batch_seconds
+
+    record = {
+        "objects_per_side": n_objects,
+        "scale": scale,
+        "max_entries": MAX_ENTRIES,
+        "pairs": scalar_inlj.pair_count,
+        "freeze_seconds": round(freeze_seconds, 4),
+        "inlj_scalar_seconds": round(inlj_scalar_seconds, 4),
+        "inlj_columnar_seconds": round(inlj_batch_seconds, 4),
+        "inlj_speedup": round(inlj_speedup, 2),
+        "inlj_probes_per_second_columnar": round(n_objects / inlj_batch_seconds, 1),
+        "stt_scalar_seconds": round(stt_scalar_seconds, 4),
+        "stt_columnar_seconds": round(stt_batch_seconds, 4),
+        "stt_speedup": round(stt_speedup, 2),
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    assert inlj_speedup >= MIN_SPEEDUP, (
+        f"columnar INLJ only {inlj_speedup:.1f}x faster than scalar "
+        f"(floor {MIN_SPEEDUP}x); see {BENCH_PATH}"
+    )
+    assert stt_speedup >= MIN_SPEEDUP, (
+        f"columnar STT only {stt_speedup:.1f}x faster than scalar "
+        f"(floor {MIN_SPEEDUP}x); see {BENCH_PATH}"
+    )

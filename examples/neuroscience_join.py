@@ -9,7 +9,7 @@ Run with ``python examples/neuroscience_join.py``.
 """
 
 from repro.datasets import NeuriteGenerator
-from repro.join import index_nested_loop_join, synchronized_tree_traversal_join
+from repro.join import execute_join, index_nested_loop_join, synchronized_tree_traversal_join
 from repro.rtree import ClippedRTree, build_rtree
 
 
@@ -28,8 +28,7 @@ def main() -> None:
     # --- INLJ: probe the axon index with every dendrite segment. ---------
     plain = index_nested_loop_join(dendrites, axon_tree, collect_pairs=False)
     fast = index_nested_loop_join(dendrites, clipped_axons, collect_pairs=False)
-    pairs = plain.inner_stats.extra.get("uncollected_pairs", 0)
-    print(f"\nINLJ: {pairs} candidate touch pairs")
+    print(f"\nINLJ: {plain.pair_count} candidate touch pairs")
     print(f"  leaf accesses unclipped: {plain.inner_stats.leaf_accesses}")
     print(f"  leaf accesses clipped:   {fast.inner_stats.leaf_accesses}")
 
@@ -41,10 +40,17 @@ def main() -> None:
     print(f"\nSTT: leaf accesses unclipped: {plain_stt.total_leaf_accesses}")
     print(f"     leaf accesses clipped:   {fast_stt.total_leaf_accesses}")
 
-    # Both strategies return the same pair count.
-    stt_pairs = plain_stt.inner_stats.extra.get("uncollected_pairs", 0)
-    assert stt_pairs == pairs, (stt_pairs, pairs)
-    print("\njoin results verified identical across strategies")
+    # --- The columnar batch engine runs either strategy over snapshots. ---
+    columnar_stt = execute_join(
+        clipped_axons, clipped_dendrites, algorithm="stt", engine="columnar",
+        collect_pairs=False,
+    )
+    print(f"\ncolumnar STT: leaf accesses {columnar_stt.total_leaf_accesses}")
+
+    # Every strategy and engine enumerates the same join.
+    assert plain_stt.pair_count == plain.pair_count == columnar_stt.pair_count
+    assert columnar_stt.total_leaf_accesses == fast_stt.total_leaf_accesses
+    print("join results verified identical across strategies and engines")
 
 
 if __name__ == "__main__":

@@ -60,6 +60,10 @@ class BenchConfig:
     #: Algorithm 1 one node at a time, "vectorized" the level-synchronous
     #: bulk_clip (identical clip points, much faster)
     build_engine: str = "scalar"
+    #: join engine for the §V spatial-join experiment: "scalar" runs the
+    #: reference INLJ/STT, "columnar" the vectorized batch joins over
+    #: frozen snapshots (identical pairs and I/O counts, much faster)
+    join_engine: str = "scalar"
     #: dataset size used by the Figure 15 scalability experiment
     scalability_size: int = 5000
     #: objects per side of the spatial-join experiment

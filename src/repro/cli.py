@@ -114,6 +114,8 @@ def _make_config(args: argparse.Namespace) -> BenchConfig:
         config.engine = args.engine
     if getattr(args, "build_engine", None) is not None:
         config.build_engine = args.build_engine
+    if getattr(args, "join_engine", None) is not None:
+        config.join_engine = args.join_engine
     return config
 
 
@@ -184,6 +186,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("scalar", "columnar"),
         default=None,
         help="query engine for range-query experiments (columnar = vectorized batch)",
+    )
+    run_parser.add_argument(
+        "--join-engine",
+        choices=("scalar", "columnar"),
+        default=None,
+        help="join engine for the joins experiment (columnar = vectorized batch joins)",
     )
 
     info_parser = subparsers.add_parser("build-info", help="build one index and summarise it")

@@ -13,6 +13,12 @@ whole tree levels at once — the path behind
 ``ClippedRTree.clip_all(engine="vectorized")``, the ``--build-engine``
 CLI flag, and ``BenchConfig.build_engine``.
 
+Joins (the §V twin): :func:`inlj_batch` and :func:`stt_batch` run both
+spatial-join strategies over snapshots with scalar-identical pairs and
+I/O accounting — the path behind
+``execute_join(..., engine="columnar")``, the ``--join-engine`` CLI
+flag, and ``BenchConfig.join_engine``.
+
 See :mod:`repro.engine.columnar` for the snapshot layout,
 :mod:`repro.engine.kernels` / :mod:`repro.engine.clip_kernels` for the
 scalar↔array predicate correspondences, and
@@ -24,11 +30,14 @@ from repro.engine.builder import build_columnar_str
 from repro.engine.bulk_clip import bulk_clip
 from repro.engine.columnar import ColumnarIndex
 from repro.engine.executor import knn_batch, range_query_batch
+from repro.engine.join_exec import inlj_batch, stt_batch
 
 __all__ = [
     "ColumnarIndex",
     "build_columnar_str",
     "bulk_clip",
+    "inlj_batch",
     "knn_batch",
     "range_query_batch",
+    "stt_batch",
 ]

@@ -10,7 +10,10 @@ arrays:
   entries, an object index for leaf entries), and the ``(start, count)``
   slice of the child's clip points;
 * per-clip-point: coordinates and the boolean expansion of the corner
-  bitmask.
+  bitmask;
+* per-node (for the join executor): the ``(start, count)`` clip slice of
+  the node *itself* — the same slices as the per-entry view, plus the
+  root's clip points, which no entry references.
 
 Nodes are laid out in BFS order from the root (slot 0), so a frontier of
 node slots can be expanded level by level with pure array operations; the
@@ -29,7 +32,7 @@ answering queries against the *old* state.  The source's
 from __future__ import annotations
 
 from collections import deque
-from typing import List, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -68,6 +71,8 @@ class ColumnarIndex:
         clip_is_high: np.ndarray,
         objects: List[SpatialObject],
         source_version: object,
+        node_clip_start: Optional[np.ndarray] = None,
+        node_clip_count: Optional[np.ndarray] = None,
     ):
         self.source = source
         self.dims = dims
@@ -84,6 +89,17 @@ class ColumnarIndex:
         self.clip_is_high = clip_is_high
         self.objects = objects
         self.source_version = source_version
+        n_nodes = len(is_leaf)
+        if node_clip_start is None:
+            node_clip_start = np.zeros(n_nodes, dtype=np.int64)
+        if node_clip_count is None:
+            node_clip_count = np.zeros(n_nodes, dtype=np.int64)
+        self.node_clip_start = node_clip_start
+        self.node_clip_count = node_clip_count
+        # Lazily derived per-slot geometry (cached; the snapshot is immutable).
+        self._node_lows: Optional[np.ndarray] = None
+        self._node_highs: Optional[np.ndarray] = None
+        self._node_levels: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -129,6 +145,8 @@ class ColumnarIndex:
         entry_child = np.empty(total_entries, dtype=np.int64)
         clip_start = np.zeros(total_entries, dtype=np.int64)
         clip_count = np.zeros(total_entries, dtype=np.int64)
+        node_clip_start = np.zeros(n_nodes, dtype=np.int64)
+        node_clip_count = np.zeros(n_nodes, dtype=np.int64)
 
         objects: List[SpatialObject] = []
         coords: List[tuple] = []
@@ -154,10 +172,25 @@ class ColumnarIndex:
                         if clips:
                             clip_start[cursor] = len(coords)
                             clip_count[cursor] = len(clips)
+                            node_clip_start[slot_of[entry.child]] = len(coords)
+                            node_clip_count[slot_of[entry.child]] = len(clips)
                             for clip in clips:
                                 coords.append(clip.coord)
                                 masks.append(clip.mask)
                 cursor += 1
+
+        # The root is referenced by no entry, but joins probe its clip
+        # points too (the scalar STT consults the ClipStore for any node
+        # pair); append them after the entry-ordered points.
+        if store is not None:
+            root_clips = store.get(tree.root_id)
+            if root_clips:
+                root_slot = slot_of[tree.root_id]
+                node_clip_start[root_slot] = len(coords)
+                node_clip_count[root_slot] = len(root_clips)
+                for clip in root_clips:
+                    coords.append(clip.coord)
+                    masks.append(clip.mask)
 
         clip_coords = (
             np.array(coords, dtype=np.float64)
@@ -185,6 +218,8 @@ class ColumnarIndex:
             clip_is_high=clip_is_high,
             objects=objects,
             source_version=cls._version_of(index),
+            node_clip_start=node_clip_start,
+            node_clip_count=node_clip_count,
         )
 
     @staticmethod
@@ -226,6 +261,43 @@ class ColumnarIndex:
     def has_clips(self) -> bool:
         """True when the snapshot carries any clip points."""
         return len(self.clip_coords) > 0
+
+    def node_bounds(self) -> tuple:
+        """Per-slot node MBBs as ``(lows, highs)`` arrays (cached).
+
+        Each slot's bounds are the min/max over its own entries — exactly
+        ``Node.mbb()`` of the source node, bit for bit.  An entry-less
+        slot (the root of an empty tree) gets a degenerate all-zero box;
+        callers must not rely on it (the join executor bails out of empty
+        trees before looking).
+        """
+        if self._node_lows is None:
+            n_nodes = len(self.is_leaf)
+            if len(self.entry_lows) == 0:
+                self._node_lows = np.zeros((n_nodes, self.dims), dtype=np.float64)
+                self._node_highs = np.zeros((n_nodes, self.dims), dtype=np.float64)
+            else:
+                self._node_lows = np.minimum.reduceat(self.entry_lows, self.entry_start)
+                self._node_highs = np.maximum.reduceat(self.entry_highs, self.entry_start)
+        return self._node_lows, self._node_highs
+
+    def node_levels(self) -> np.ndarray:
+        """Per-slot tree levels (0 = leaf), cached.
+
+        Parents precede children in the BFS slot layout, so one reverse
+        sweep suffices: a directory slot sits one level above its first
+        child.  The join executor uses levels to replicate the scalar
+        STT's descend-the-deeper-tree rule.
+        """
+        if self._node_levels is None:
+            levels = np.zeros(len(self.is_leaf), dtype=np.int64)
+            entry_start = self.entry_start
+            entry_child = self.entry_child
+            for slot in range(len(levels) - 1, -1, -1):
+                if not self.is_leaf[slot]:
+                    levels[slot] = levels[entry_child[entry_start[slot]]] + 1
+            self._node_levels = levels
+        return self._node_levels
 
     def node_count(self) -> int:
         """Number of snapshot node slots."""

@@ -55,29 +55,26 @@ def _query_arrays(index: ColumnarIndex, rects: Sequence[Rect]) -> Tuple[np.ndarr
     return lows, highs
 
 
-def range_query_batch(
+def gather_range_hits(
     index: ColumnarIndex,
-    rects: Sequence[Rect],
+    q_lows: np.ndarray,
+    q_highs: np.ndarray,
     stats: Optional[IOStats] = None,
     access_hook: Optional[AccessHook] = None,
-) -> List[List[SpatialObject]]:
-    """All objects intersecting each query rectangle, per query.
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Run the level-synchronous frontier for a batch of query rectangles.
 
-    The vectorized equivalent of calling ``range_query(rect, stats=...)``
-    once per rectangle: result *sets* and every ``IOStats`` counter are
-    identical to the scalar path (results arrive in BFS rather than DFS
-    order).  ``access_hook``, when given, is invoked once per frontier
-    round with the visiting query indices and visited node ids — the
-    cold-disk experiment uses it to charge a buffer pool.
+    Returns ``(hit_queries, hit_objects)``: parallel arrays pairing each
+    matched object index with the query (row of ``q_lows``/``q_highs``)
+    that matched it, in frontier-discovery (BFS) order.  This is the
+    shared core of :func:`range_query_batch` and the columnar INLJ
+    (:func:`repro.engine.join_exec.inlj_batch`), which only differ in how
+    they materialise the hits; ``IOStats`` accounting is identical to the
+    scalar traversal either way.
     """
-    rects = list(rects)
-    results: List[List[SpatialObject]] = [[] for _ in rects]
-    if not rects:
-        return results
-    q_lows, q_highs = _query_arrays(index, rects)
-
-    frontier_q = np.arange(len(rects), dtype=np.int64)
-    frontier_n = np.full(len(rects), ColumnarIndex.ROOT_SLOT, dtype=np.int64)
+    n_queries = len(q_lows)
+    frontier_q = np.arange(n_queries, dtype=np.int64)
+    frontier_n = np.full(n_queries, ColumnarIndex.ROOT_SLOT, dtype=np.int64)
     hit_queries_rounds: List[np.ndarray] = []
     hit_objects_rounds: List[np.ndarray] = []
 
@@ -143,12 +140,40 @@ def range_query_batch(
         frontier_q = cand_q
         frontier_n = index.entry_child[cand]
 
+    if hit_queries_rounds:
+        return np.concatenate(hit_queries_rounds), np.concatenate(hit_objects_rounds)
+    empty = np.empty(0, dtype=np.int64)
+    return empty, empty
+
+
+def range_query_batch(
+    index: ColumnarIndex,
+    rects: Sequence[Rect],
+    stats: Optional[IOStats] = None,
+    access_hook: Optional[AccessHook] = None,
+) -> List[List[SpatialObject]]:
+    """All objects intersecting each query rectangle, per query.
+
+    The vectorized equivalent of calling ``range_query(rect, stats=...)``
+    once per rectangle: result *sets* and every ``IOStats`` counter are
+    identical to the scalar path (results arrive in BFS rather than DFS
+    order).  ``access_hook``, when given, is invoked once per frontier
+    round with the visiting query indices and visited node ids — the
+    cold-disk experiment uses it to charge a buffer pool.
+    """
+    rects = list(rects)
+    results: List[List[SpatialObject]] = [[] for _ in rects]
+    if not rects:
+        return results
+    q_lows, q_highs = _query_arrays(index, rects)
+    all_q, all_obj = gather_range_hits(
+        index, q_lows, q_highs, stats=stats, access_hook=access_hook
+    )
+
     # Materialise the result lists in one grouped pass: a stable sort by
     # query keeps the BFS discovery order within each query, and objects
     # are resolved per contiguous slice rather than per hit.
-    if hit_queries_rounds:
-        all_q = np.concatenate(hit_queries_rounds)
-        all_obj = np.concatenate(hit_objects_rounds)
+    if len(all_q):
         order = np.argsort(all_q, kind="stable")
         sorted_q = all_q[order]
         sorted_obj = all_obj[order]

@@ -1,0 +1,370 @@
+"""Columnar spatial-join execution over :class:`ColumnarIndex` snapshots.
+
+The two §V join strategies, vectorized:
+
+* :func:`inlj_batch` — Index Nested Loop Join: every outer rectangle
+  probes the frozen inner index at once through the level-synchronous
+  range frontier (:func:`repro.engine.executor.gather_range_hits`), one
+  kernel sweep per tree level instead of one Python traversal per probe.
+* :func:`stt_batch` — Synchronised Tree Traversal: the frontier holds
+  *pairs* of node slots, one from each snapshot.  Each round splits the
+  frontier into leaf×leaf pairs (joined immediately via a flattened
+  cross-product kernel) and descending pairs, expands the deeper side's
+  entries, and filters the candidate child pairs with the MBB
+  intersection kernel plus the paper's clipped dominance pruning — the
+  candidate child's clip points probed with the partner's MBB and the
+  partner's clip points probed with the candidate's rectangle, exactly
+  the two ``node_intersects`` tests of the scalar ``_pair_passes``.
+
+Both reproduce the scalar joins (:mod:`repro.join`) exactly: the same
+result pairs, the same ``pair_count``, and the same ``IOStats`` — one
+access per node pairing, recorded on the side that descended, with a leaf
+access *contributing* only when the subtree pairing entered at it emitted
+at least one result pair.  The scalar STT learns a leaf's contribution
+when its recursion returns; the frontier cannot wait, so every access is
+tagged with the pair it created and emissions are propagated up the pair
+tree (child pairs always have larger ids than their parents, so one
+reverse sweep over the creation rounds settles every count).
+``tests/test_join_differential.py`` pins the equivalence per variant ×
+dataset × clipped/plain.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.engine.columnar import ColumnarIndex
+from repro.engine.executor import gather_range_hits
+from repro.engine.join_kernels import expand_cross, segment_counts
+from repro.engine.kernels import (
+    clip_prune_mask,
+    expand_segments,
+    intersect_mask,
+    segment_any,
+)
+from repro.geometry.objects import SpatialObject
+from repro.join.result import JoinResult
+
+
+def inlj_batch(
+    outer_objects: Iterable[SpatialObject],
+    inner: ColumnarIndex,
+    collect_pairs: bool = True,
+) -> JoinResult:
+    """Index Nested Loop Join of ``outer_objects`` against a snapshot.
+
+    Equivalent to :func:`repro.join.inlj.index_nested_loop_join` run
+    against the snapshot's source index: identical pairs, ``pair_count``
+    and ``inner_stats`` (pairs are emitted in per-probe BFS rather than
+    DFS order).
+    """
+    outer_objects = list(outer_objects)
+    result = JoinResult()
+    if not outer_objects:
+        result.set_pair_count(0, collected=collect_pairs)
+        return result
+    q_lows = np.array([o.rect.low for o in outer_objects], dtype=np.float64)
+    q_highs = np.array([o.rect.high for o in outer_objects], dtype=np.float64)
+    if q_lows.shape[1] != inner.dims:
+        raise ValueError(
+            f"outer objects have {q_lows.shape[1]} dims, snapshot expects {inner.dims}"
+        )
+    all_q, all_obj = gather_range_hits(
+        inner, q_lows, q_highs, stats=result.inner_stats
+    )
+    if collect_pairs and len(all_q):
+        # Stable sort groups the hits per outer object, preserving the
+        # BFS discovery order within each probe.
+        order = np.argsort(all_q, kind="stable")
+        get = inner.objects.__getitem__
+        result.pairs.extend(
+            (outer_objects[q], get(o))
+            for q, o in zip(all_q[order].tolist(), all_obj[order].tolist())
+        )
+    result.set_pair_count(int(len(all_q)), collected=collect_pairs)
+    return result
+
+
+class _PairLedger:
+    """Bookkeeping of the pair tree the synchronized traversal explores.
+
+    Every explored node pair gets a sequential id; ``parents`` remembers
+    which frontier pair spawned it and ``events`` which side's node was
+    accessed when it was created.  Emissions recorded against leaf×leaf
+    pairs are pushed up the parent chain in :meth:`settle`, which is what
+    turns per-pair emission counts into the contributing-leaf metric.
+    """
+
+    def __init__(self) -> None:
+        self.parent_rounds: List[np.ndarray] = []
+        self.events: List[Tuple[bool, np.ndarray, np.ndarray]] = []
+        self.emissions: List[Tuple[np.ndarray, np.ndarray]] = []
+        self.next_id = 0
+
+    def add_pairs(self, parents: np.ndarray) -> np.ndarray:
+        """Register newly created pairs; returns their ids."""
+        ids = np.arange(self.next_id, self.next_id + len(parents), dtype=np.int64)
+        self.next_id += len(parents)
+        self.parent_rounds.append(parents)
+        return ids
+
+    def record_accesses(
+        self, outer_side: bool, pair_ids: np.ndarray, leaf_flags: np.ndarray
+    ) -> None:
+        self.events.append((outer_side, pair_ids, leaf_flags))
+
+    def record_emissions(self, pair_ids: np.ndarray, counts: np.ndarray) -> None:
+        self.emissions.append((pair_ids, counts))
+
+    def settle(self, result: JoinResult) -> int:
+        """Propagate emissions up the pair tree and fill ``IOStats``.
+
+        Returns the total number of result pairs (the root pair's settled
+        emission count).
+        """
+        emitted = np.zeros(self.next_id, dtype=np.int64)
+        for pair_ids, counts in self.emissions:
+            np.add.at(emitted, pair_ids, counts)
+        # Reverse creation order: each block's parents were created in
+        # strictly earlier blocks, and its own descendants (later blocks)
+        # have already been folded in.
+        id_end = self.next_id
+        for parents in reversed(self.parent_rounds):
+            ids = np.arange(id_end - len(parents), id_end, dtype=np.int64)
+            live = parents >= 0
+            if live.any():
+                np.add.at(emitted, parents[live], emitted[ids[live]])
+            id_end -= len(parents)
+        for outer_side, pair_ids, leaf_flags in self.events:
+            stats = result.outer_stats if outer_side else result.inner_stats
+            n_leaves = int(leaf_flags.sum())
+            stats.leaf_accesses += n_leaves
+            stats.internal_accesses += len(pair_ids) - n_leaves
+            stats.contributing_leaf_accesses += int(
+                (leaf_flags & (emitted[pair_ids] > 0)).sum()
+            )
+        return int(emitted[0]) if self.next_id else 0
+
+
+def _clips_veto_pair(
+    owner: ColumnarIndex,
+    clip_start: np.ndarray,
+    clip_count: np.ndarray,
+    probe_lows: np.ndarray,
+    probe_highs: np.ndarray,
+) -> np.ndarray:
+    """Rows whose clip points prove the probe rectangle hits dead space only.
+
+    ``clip_start``/``clip_count`` select one clip-point run of ``owner``
+    per row; ``probe_lows``/``probe_highs`` is the partner rectangle of
+    that row — the vectorized ``node_intersects`` of the scalar join.
+    """
+    n_rows = len(clip_start)
+    flat, owners = expand_segments(clip_start, clip_count)
+    if not len(flat):
+        return np.zeros(n_rows, dtype=bool)
+    pruned = clip_prune_mask(
+        probe_lows[owners],
+        probe_highs[owners],
+        owner.clip_coords[flat],
+        owner.clip_is_high[flat],
+    )
+    return segment_any(pruned, owners, n_rows)
+
+
+def stt_batch(
+    left: ColumnarIndex, right: ColumnarIndex, collect_pairs: bool = True
+) -> JoinResult:
+    """Synchronised Tree Traversal join of two snapshots.
+
+    Equivalent to :func:`repro.join.stt.synchronized_tree_traversal_join`
+    run on the snapshots' sources: identical pairs, ``pair_count``,
+    ``outer_stats`` and ``inner_stats``.
+    """
+    if left.dims != right.dims:
+        raise ValueError(f"snapshot dims differ: {left.dims} vs {right.dims}")
+    result = JoinResult()
+    root = ColumnarIndex.ROOT_SLOT
+    if left.entry_count[root] == 0 or right.entry_count[root] == 0:
+        result.set_pair_count(0, collected=collect_pairs)
+        return result
+
+    l_lows, l_highs = left.node_bounds()
+    r_lows, r_highs = right.node_bounds()
+    l_levels = left.node_levels()
+    r_levels = right.node_levels()
+
+    root_arr = np.array([root], dtype=np.int64)
+    roots_pass = bool(
+        intersect_mask(l_lows[root_arr], l_highs[root_arr], r_lows[root], r_highs[root])[0]
+    )
+    if roots_pass and left.has_clips:
+        roots_pass = not bool(
+            _clips_veto_pair(
+                left,
+                left.node_clip_start[root_arr],
+                left.node_clip_count[root_arr],
+                r_lows[root_arr],
+                r_highs[root_arr],
+            )[0]
+        )
+    if roots_pass and right.has_clips:
+        roots_pass = not bool(
+            _clips_veto_pair(
+                right,
+                right.node_clip_start[root_arr],
+                right.node_clip_count[root_arr],
+                l_lows[root_arr],
+                l_highs[root_arr],
+            )[0]
+        )
+    if not roots_pass:
+        result.set_pair_count(0, collected=collect_pairs)
+        return result
+
+    ledger = _PairLedger()
+    root_pair = ledger.add_pairs(np.array([-1], dtype=np.int64))
+    ledger.record_accesses(True, root_pair, left.is_leaf[root_arr])
+    ledger.record_accesses(False, root_pair, right.is_leaf[root_arr])
+
+    frontier_a = root_arr
+    frontier_b = root_arr.copy()
+    frontier_pid = root_pair
+    collected: List[Tuple[np.ndarray, np.ndarray]] = []
+
+    def descend(
+        desc: ColumnarIndex,
+        other: ColumnarIndex,
+        nodes: np.ndarray,
+        partners: np.ndarray,
+        pids: np.ndarray,
+        other_lows: np.ndarray,
+        other_highs: np.ndarray,
+        outer_side: bool,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Expand one side's entries against the partner nodes of the other."""
+        flat, owners = expand_segments(desc.entry_start[nodes], desc.entry_count[nodes])
+        partner = partners[owners]
+        parent = pids[owners]
+        keep = intersect_mask(
+            desc.entry_lows[flat],
+            desc.entry_highs[flat],
+            other_lows[partner],
+            other_highs[partner],
+        )
+        flat, partner, parent = flat[keep], partner[keep], parent[keep]
+        if desc.has_clips and len(flat):
+            # Candidate child's own clip points vs the partner's MBB.
+            veto = _clips_veto_pair(
+                desc,
+                desc.clip_start[flat],
+                desc.clip_count[flat],
+                other_lows[partner],
+                other_highs[partner],
+            )
+            flat, partner, parent = flat[~veto], partner[~veto], parent[~veto]
+        if other.has_clips and len(flat):
+            # Partner node's clip points vs the candidate child's rectangle.
+            veto = _clips_veto_pair(
+                other,
+                other.node_clip_start[partner],
+                other.node_clip_count[partner],
+                desc.entry_lows[flat],
+                desc.entry_highs[flat],
+            )
+            flat, partner, parent = flat[~veto], partner[~veto], parent[~veto]
+        children = desc.entry_child[flat]
+        new_pids = ledger.add_pairs(parent)
+        ledger.record_accesses(outer_side, new_pids, desc.is_leaf[children])
+        return children, partner, new_pids
+
+    while len(frontier_a):
+        a_leaf = left.is_leaf[frontier_a]
+        b_leaf = right.is_leaf[frontier_b]
+
+        both = a_leaf & b_leaf
+        if both.any():
+            leaf_a = frontier_a[both]
+            leaf_b = frontier_b[both]
+            owners, ai, bi = expand_cross(
+                left.entry_start[leaf_a],
+                left.entry_count[leaf_a],
+                right.entry_start[leaf_b],
+                right.entry_count[leaf_b],
+            )
+            hit = intersect_mask(
+                left.entry_lows[ai],
+                left.entry_highs[ai],
+                right.entry_lows[bi],
+                right.entry_highs[bi],
+            )
+            ledger.record_emissions(
+                frontier_pid[both], segment_counts(hit, owners, len(leaf_a))
+            )
+            if collect_pairs and hit.any():
+                rows = np.nonzero(hit)[0]
+                collected.append(
+                    (left.entry_child[ai[rows]], right.entry_child[bi[rows]])
+                )
+
+        rest = ~both
+        rest_a = frontier_a[rest]
+        rest_b = frontier_b[rest]
+        rest_pid = frontier_pid[rest]
+        if not len(rest_a):
+            break
+        go_left = ~left.is_leaf[rest_a] & (
+            right.is_leaf[rest_b] | (l_levels[rest_a] >= r_levels[rest_b])
+        )
+
+        next_a: List[np.ndarray] = []
+        next_b: List[np.ndarray] = []
+        next_pid: List[np.ndarray] = []
+        if go_left.any():
+            children, partner, pids = descend(
+                left,
+                right,
+                rest_a[go_left],
+                rest_b[go_left],
+                rest_pid[go_left],
+                r_lows,
+                r_highs,
+                outer_side=True,
+            )
+            next_a.append(children)
+            next_b.append(partner)
+            next_pid.append(pids)
+        go_right = ~go_left
+        if go_right.any():
+            children, partner, pids = descend(
+                right,
+                left,
+                rest_b[go_right],
+                rest_a[go_right],
+                rest_pid[go_right],
+                l_lows,
+                l_highs,
+                outer_side=False,
+            )
+            next_a.append(partner)
+            next_b.append(children)
+            next_pid.append(pids)
+
+        frontier_a = np.concatenate(next_a) if next_a else np.empty(0, dtype=np.int64)
+        frontier_b = np.concatenate(next_b) if next_b else np.empty(0, dtype=np.int64)
+        frontier_pid = (
+            np.concatenate(next_pid) if next_pid else np.empty(0, dtype=np.int64)
+        )
+
+    pair_count = ledger.settle(result)
+    if collect_pairs:
+        get_l = left.objects.__getitem__
+        get_r = right.objects.__getitem__
+        for a_idx, b_idx in collected:
+            result.pairs.extend(
+                (get_l(i), get_r(j)) for i, j in zip(a_idx.tolist(), b_idx.tolist())
+            )
+    result.set_pair_count(pair_count, collected=collect_pairs)
+    return result

@@ -1,0 +1,70 @@
+"""Vectorized NumPy kernels specific to the columnar join executor.
+
+The join executor works on *pairs* of nodes, one from each snapshot, so
+its indexing helpers are two-sided analogues of
+:func:`repro.engine.kernels.expand_segments`:
+
+* :func:`expand_cross` flattens the cross product of two entry segments
+  per pair — the leaf×leaf candidate enumeration of the synchronized
+  traversal;
+* :func:`segment_counts` aggregates per-row hits back into per-pair
+  counts (the emitted-pair bookkeeping the contribution metric needs).
+
+All geometric predicates reuse the existing scalar-exact kernels
+(:func:`~repro.engine.kernels.intersect_mask`,
+:func:`~repro.engine.kernels.clip_prune_mask`), so the join decides every
+candidate identically to the scalar algorithms in :mod:`repro.join`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def expand_cross(
+    a_start: np.ndarray,
+    a_count: np.ndarray,
+    b_start: np.ndarray,
+    b_count: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten per-pair segment cross products.
+
+    For each pair ``p``, enumerates every combination of one index from
+    the segment ``a_start[p] : a_start[p] + a_count[p]`` with one from
+    ``b_start[p] : b_start[p] + b_count[p]``, in row-major (``a`` outer,
+    ``b`` inner) order — the nesting order of the scalar leaf×leaf loop.
+    Returns ``(owners, a_idx, b_idx)`` where ``owners[j]`` is the pair
+    that produced row ``j``.  Pairs where either segment is empty
+    contribute nothing.
+    """
+    a_start = np.asarray(a_start, dtype=np.int64)
+    a_count = np.asarray(a_count, dtype=np.int64)
+    b_start = np.asarray(b_start, dtype=np.int64)
+    b_count = np.asarray(b_count, dtype=np.int64)
+    sizes = a_count * b_count
+    total = int(sizes.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty
+    owners = np.repeat(np.arange(len(sizes), dtype=np.int64), sizes)
+    offsets = np.cumsum(sizes) - sizes
+    within = np.arange(total, dtype=np.int64) - np.repeat(offsets, sizes)
+    nb = b_count[owners]
+    a_idx = a_start[owners] + within // nb
+    b_idx = b_start[owners] + within % nb
+    return owners, a_idx, b_idx
+
+
+def segment_counts(flags: np.ndarray, owners: np.ndarray, n_segments: int) -> np.ndarray:
+    """Per-segment count of set ``flags`` grouped by ``owners``.
+
+    The counting sibling of :func:`repro.engine.kernels.segment_any`:
+    empty segments count zero.
+    """
+    if len(flags) == 0:
+        return np.zeros(n_segments, dtype=np.int64)
+    return np.bincount(
+        owners[flags], minlength=n_segments
+    ).astype(np.int64, copy=False)

@@ -1,11 +1,85 @@
-"""Spatial joins: Index Nested Loop Join and Synchronised Tree Traversal."""
+"""Spatial joins: Index Nested Loop Join and Synchronised Tree Traversal.
+
+Two interchangeable execution engines serve both strategies:
+
+* ``"scalar"`` — the reference implementations in :mod:`repro.join.inlj`
+  and :mod:`repro.join.stt`, one Python node visit at a time;
+* ``"columnar"`` — :mod:`repro.engine.join_exec`, which freezes the
+  indexes into :class:`~repro.engine.columnar.ColumnarIndex` snapshots
+  and runs the joins level-synchronously through NumPy kernels, with
+  identical pairs, ``pair_count`` and ``IOStats``.
+
+:func:`execute_join` is the engine-dispatching entry point the
+experiments and the CLI use.
+"""
+
+from __future__ import annotations
 
 from repro.join.inlj import index_nested_loop_join
 from repro.join.result import JoinResult
 from repro.join.stt import synchronized_tree_traversal_join
 
+JOIN_ENGINES = ("scalar", "columnar")
+JOIN_ALGORITHMS = ("inlj", "stt")
+
+
+def _as_snapshot(index):
+    """``index`` as a ColumnarIndex, freezing trees on the fly."""
+    from repro.engine import ColumnarIndex
+
+    if isinstance(index, ColumnarIndex):
+        return index
+    return ColumnarIndex.from_tree(index)
+
+
+def execute_join(
+    left,
+    right,
+    algorithm: str = "stt",
+    engine: str = "scalar",
+    collect_pairs: bool = True,
+) -> JoinResult:
+    """Run one spatial join with the selected algorithm and engine.
+
+    ``algorithm``:
+
+    * ``"inlj"`` — ``left`` is an iterable of outer
+      :class:`~repro.geometry.objects.SpatialObject` probes, ``right``
+      the indexed inner input;
+    * ``"stt"`` — ``left`` and ``right`` are both indexed inputs.
+
+    Indexed inputs are plain trees, :class:`ClippedRTree` wrappers, or —
+    for the columnar engine — pre-frozen
+    :class:`~repro.engine.columnar.ColumnarIndex` snapshots (trees are
+    frozen on the fly; pass snapshots to amortise the freeze across many
+    joins).  Both engines return identical results and I/O accounting;
+    ``tests/test_join_differential.py`` pins the equivalence.
+    """
+    if algorithm not in JOIN_ALGORITHMS:
+        raise ValueError(
+            f"unknown join algorithm {algorithm!r}; known: {JOIN_ALGORITHMS}"
+        )
+    if engine not in JOIN_ENGINES:
+        raise ValueError(f"unknown join engine {engine!r}; known: {JOIN_ENGINES}")
+    if engine == "columnar":
+        # Imported lazily: the scalar path must not require NumPy.
+        from repro.engine.join_exec import inlj_batch, stt_batch
+
+        if algorithm == "inlj":
+            return inlj_batch(left, _as_snapshot(right), collect_pairs=collect_pairs)
+        return stt_batch(
+            _as_snapshot(left), _as_snapshot(right), collect_pairs=collect_pairs
+        )
+    if algorithm == "inlj":
+        return index_nested_loop_join(left, right, collect_pairs=collect_pairs)
+    return synchronized_tree_traversal_join(left, right, collect_pairs=collect_pairs)
+
+
 __all__ = [
+    "JOIN_ALGORITHMS",
+    "JOIN_ENGINES",
+    "JoinResult",
+    "execute_join",
     "index_nested_loop_join",
     "synchronized_tree_traversal_join",
-    "JoinResult",
 ]

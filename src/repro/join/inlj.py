@@ -27,16 +27,14 @@ def index_nested_loop_join(
     """Join ``outer_objects`` with the objects indexed by ``inner_index``.
 
     ``collect_pairs=False`` skips materialising the (potentially large)
-    pair list while still counting them, which the benchmarks use.
+    pair list; ``result.pair_count`` reports the count in both modes.
     """
     result = JoinResult()
     pair_count = 0
     for outer in outer_objects:
         matches = inner_index.range_query(outer.rect, stats=result.inner_stats)
+        pair_count += len(matches)
         if collect_pairs:
             result.pairs.extend((outer, inner) for inner in matches)
-        else:
-            pair_count += len(matches)
-    if not collect_pairs:
-        result.inner_stats.bump("uncollected_pairs", pair_count)
+    result.set_pair_count(pair_count, collected=collect_pairs)
     return result

@@ -5,17 +5,25 @@ only following pairs of children whose bounding boxes intersect.  When the
 inputs are :class:`ClippedRTree` instances, the paper's §V strategy is
 applied: a child pair is pruned when either child's clipped bounding box
 proves the other child's MBB lies entirely in dead space.
+
+I/O accounting: a node access is recorded each time the traversal descends
+into a child (one access per node *pairing*, mirroring a page fetch per
+visit), and a leaf access is *contributing* only when the subtree pairing
+entered at that access emitted at least one result pair.  When the two
+roots cannot join at all — disjoint MBBs, or a clip point proving the
+overlap is dead space — nothing is accessed and every counter stays zero.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple, Union
+from typing import Optional, Tuple, Union
 
 from repro.geometry.rect import Rect
 from repro.join.result import JoinResult
 from repro.rtree.base import RTreeBase
 from repro.rtree.clipped import ClippedRTree
 from repro.rtree.node import Node
+from repro.storage.stats import IOStats
 
 Index = Union[RTreeBase, ClippedRTree]
 
@@ -44,6 +52,13 @@ def _pair_passes(
     return True
 
 
+def _record_access(stats: IOStats, node: Node, emitted: int) -> None:
+    if node.is_leaf:
+        stats.record_leaf(contributed=emitted > 0)
+    else:
+        stats.record_internal()
+
+
 def synchronized_tree_traversal_join(
     left: Index, right: Index, collect_pairs: bool = True
 ) -> JoinResult:
@@ -51,25 +66,19 @@ def synchronized_tree_traversal_join(
     left_tree, left_clipped = _unwrap(left)
     right_tree, right_clipped = _unwrap(right)
     result = JoinResult()
-    pair_count = 0
 
-    def visit(node_a: Node, stats, is_left: bool) -> None:
-        if node_a.is_leaf:
-            stats.record_leaf(contributed=True)
-        else:
-            stats.record_internal()
-
-    def join_nodes(node_l: Node, node_r: Node) -> None:
-        nonlocal pair_count
+    def join_nodes(node_l: Node, node_r: Node) -> int:
+        """Join one node pair; returns the result pairs it emitted."""
         if node_l.is_leaf and node_r.is_leaf:
+            emitted = 0
             for e_l in node_l.entries:
                 for e_r in node_r.entries:
                     if e_l.rect.intersects(e_r.rect):
+                        emitted += 1
                         if collect_pairs:
                             result.pairs.append((e_l.child, e_r.child))
-                        else:
-                            pair_count += 1
-            return
+            return emitted
+        emitted = 0
         if not node_l.is_leaf and (node_r.is_leaf or node_l.level >= node_r.level):
             # Descend the left (deeper) tree.
             for entry in node_l.entries:
@@ -78,26 +87,29 @@ def synchronized_tree_traversal_join(
                     node_r.mbb(), node_r.node_id, right_clipped,
                 ):
                     child = left_tree.node(entry.child)
-                    visit(child, result.outer_stats, True)
-                    join_nodes(child, node_r)
-            return
+                    sub = join_nodes(child, node_r)
+                    _record_access(result.outer_stats, child, sub)
+                    emitted += sub
+            return emitted
         for entry in node_r.entries:
             if _pair_passes(
                 node_l.mbb(), node_l.node_id, left_clipped,
                 entry.rect, entry.child, right_clipped,
             ):
                 child = right_tree.node(entry.child)
-                visit(child, result.inner_stats, False)
-                join_nodes(node_l, child)
+                sub = join_nodes(node_l, child)
+                _record_access(result.inner_stats, child, sub)
+                emitted += sub
+        return emitted
 
     root_l, root_r = left_tree.root, right_tree.root
-    visit(root_l, result.outer_stats, True)
-    visit(root_r, result.inner_stats, False)
-    if _pair_passes(
+    pair_count = 0
+    if root_l.entries and root_r.entries and _pair_passes(
         root_l.mbb(), root_l.node_id, left_clipped,
         root_r.mbb(), root_r.node_id, right_clipped,
     ):
-        join_nodes(root_l, root_r)
-    if not collect_pairs:
-        result.inner_stats.bump("uncollected_pairs", pair_count)
+        pair_count = join_nodes(root_l, root_r)
+        _record_access(result.outer_stats, root_l, pair_count)
+        _record_access(result.inner_stats, root_r, pair_count)
+    result.set_pair_count(pair_count, collected=collect_pairs)
     return result

@@ -119,7 +119,11 @@ class ClippedRTree:
         return clipped
 
     def clip_all(self, engine: str = "scalar") -> int:
-        """(Re)compute clip points for every node; returns nodes clipped.
+        """(Re)compute clip points for every node.
+
+        Returns the number of nodes that ended up holding clip points —
+        i.e. the resulting store length — identically for both engines
+        (``tests/test_build_differential.py`` pins the agreement).
 
         ``engine`` selects the construction path:
 
@@ -139,13 +143,11 @@ class ClippedRTree:
             from repro.engine.bulk_clip import bulk_clip
 
             bulk_clip(self.tree, self.config, store=self.store)
-            return len(self.store)
-        self.store.clear()
-        count = 0
-        for node in self.tree.nodes():
-            if self._clip_node(node):
-                count += 1
-        return count
+        else:
+            self.store.clear()
+            for node in self.tree.nodes():
+                self._clip_node(node)
+        return len(self.store)
 
     def _clip_node(self, node: Node) -> bool:
         """Clip one node; returns True when any clip point was stored."""

@@ -78,6 +78,10 @@ class TestBulkClipDifferential:
         vector = ClippedRTree(tree, ClippingConfig(method=method))
         vector_count = vector.clip_all(engine="vectorized")
         assert vector_count == scalar_count
+        # Both engines report the same thing: the resulting store length
+        # (the number of nodes holding clip points).
+        assert scalar_count == len(scalar.store)
+        assert vector_count == len(vector.store)
         _assert_stores_identical(scalar.store, vector.store)
 
     @pytest.mark.parametrize("k,tau", [(0, 0.025), (1, 0.0), (3, 0.1), (None, 0.0)])

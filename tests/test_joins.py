@@ -46,7 +46,11 @@ class TestInlj:
         collected = index_nested_loop_join(left, tree, collect_pairs=True)
         counted = index_nested_loop_join(left, tree, collect_pairs=False)
         assert counted.pairs == []
+        assert collected.pair_count == len(collected.pairs)
+        assert counted.pair_count == len(collected.pairs)
+        # Deprecated alias, kept for one cycle — prefer ``pair_count``.
         assert counted.inner_stats.extra["uncollected_pairs"] == len(collected.pairs)
+        assert "uncollected_pairs" not in collected.inner_stats.extra
 
     def test_empty_outer(self, join_inputs):
         _, right = join_inputs
@@ -76,6 +80,16 @@ class TestStt:
         assert {(a.oid, b.oid) for a, b in plain.pairs} == {(a.oid, b.oid) for a, b in fast.pairs}
         assert fast.total_leaf_accesses <= plain.total_leaf_accesses
 
+    def test_contributing_accesses_require_emitted_pairs(self, join_inputs):
+        left, right = join_inputs
+        result = synchronized_tree_traversal_join(
+            build_rtree("rstar", left, max_entries=8),
+            build_rtree("rstar", right, max_entries=8),
+        )
+        assert result.pair_count == len(result.pairs) > 0
+        for stats in (result.outer_stats, result.inner_stats):
+            assert stats.contributing_leaf_accesses <= stats.leaf_accesses
+
     def test_mixed_clipped_and_plain_inputs(self, join_inputs):
         left, right = join_inputs
         left_tree = build_rtree("quadratic", left, max_entries=8)
@@ -92,6 +106,9 @@ class TestStt:
         right_tree = build_rtree("quadratic", shifted, max_entries=8)
         result = synchronized_tree_traversal_join(left_tree, right_tree)
         assert result.pair_count == 0
+        # Disjoint root MBBs: the join answers without accessing any node.
+        assert result.outer_stats.total_accesses == 0
+        assert result.inner_stats.total_accesses == 0
 
     def test_trees_of_different_heights(self):
         left = make_random_objects(500, seed=65, extent=50.0)
