@@ -19,10 +19,14 @@ def test_fig12_update_cost(benchmark, context):
     for row in rows:
         total = row["node_splits"] + row["mbb_changes"] + row["cbb_changes"]
         assert abs(total - row["reclips_per_insert"]) < 0.01
-    # The R*-tree suffers the most re-clips on average (forced reinsertion),
-    # as observed in the paper.
+    # Among the insertion-built variants the R*-tree suffers the most
+    # re-clips on average (forced reinsertion), as observed in the paper.
+    # The HR-tree is excluded: it is bulk-loaded at 100% node fill here, so
+    # the measured inserts split almost every touched node — an artifact of
+    # the loading strategy, not of the Hilbert splitting policy.
     by_variant = {}
     for row in rows:
         by_variant.setdefault(row["variant"], []).append(row["reclips_per_insert"])
     averages = {variant: sum(values) / len(values) for variant, values in by_variant.items()}
-    assert averages["R*-tree"] >= min(averages.values())
+    assert averages["R*-tree"] > averages["QR-tree"]
+    assert averages["R*-tree"] > averages["RR*-tree"]

@@ -64,6 +64,11 @@ class BenchConfig:
     #: reference INLJ/STT, "columnar" the vectorized batch joins over
     #: frozen snapshots (identical pairs and I/O counts, much faster)
     join_engine: str = "scalar"
+    #: update engine for the incremental-updates experiment: "delta"
+    #: absorbs writes in a SnapshotManager overlay and compacts with
+    #: dirty-node-only re-clipping, "refreeze" rebuilds the snapshot on
+    #: every write (identical query results, much slower)
+    update_engine: str = "delta"
     #: dataset size used by the Figure 15 scalability experiment
     scalability_size: int = 5000
     #: objects per side of the spatial-join experiment

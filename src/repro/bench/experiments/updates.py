@@ -1,0 +1,120 @@
+"""Incremental-update experiment: delta overlay vs refreeze-per-write.
+
+The paper's §IV-D measures how many nodes an insertion re-clips; this
+experiment measures what that costs end-to-end for a *served* columnar
+snapshot.  Two :class:`~repro.engine.delta.SnapshotManager` instances
+absorb the same mixed insert/delete stream over identical clipped trees:
+
+* ``refreeze`` applies every write to the source synchronously (scalar
+  insert/delete plus per-update re-clipping) and re-freezes the snapshot
+  after each one — the naive baseline;
+* ``delta`` buffers writes in the overlay and folds them in through
+  periodic compactions with dirty-node-only re-clipping.
+
+Both managers answer an identical query workload at the end and must
+agree exactly — the speedup column is only meaningful because the two
+engines serve the same results.  ``BenchConfig.update_engine`` (CLI:
+``--update-engine``) selects which engine's manager backs the
+differential check's reference side; it is reported per row so the flag
+is observable in the output.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bench.harness import ExperimentContext
+from repro.engine.delta import SnapshotManager
+from repro.geometry.objects import SpatialObject
+from repro.rtree.registry import VARIANT_LABELS
+
+
+def _update_stream(
+    context: ExperimentContext, dataset: str, update_fraction: float
+) -> List[Tuple[str, SpatialObject]]:
+    """A shuffled insert/delete stream: half fresh objects, half victims."""
+    config = context.config
+    objects = context.objects(dataset)
+    updates = max(8, min(120, int(len(objects) * update_fraction)))
+    rng = random.Random(config.seed + 17)
+    victims = rng.sample(objects, min(updates // 2, len(objects)))
+    fresh = context.objects(dataset, size=updates - len(victims), seed=config.seed + 101)
+    ops = [("delete", obj) for obj in victims] + [("insert", obj) for obj in fresh]
+    rng.shuffle(ops)
+    return ops
+
+
+def _apply(manager: SnapshotManager, ops: Sequence[Tuple[str, SpatialObject]]) -> float:
+    """Apply every op (plus a final compaction) and return elapsed seconds."""
+    start = time.perf_counter()
+    for kind, obj in ops:
+        if kind == "insert":
+            manager.insert(obj)
+        else:
+            manager.delete(obj)
+    # The final fold belongs to the amortized cost, so time it too.
+    manager.compact()
+    return time.perf_counter() - start
+
+
+def _result_keys(batches: List[List[SpatialObject]]) -> List[List[Tuple]]:
+    return [sorted((o.oid, o.rect.low, o.rect.high) for o in hits) for hits in batches]
+
+
+def run(
+    context: ExperimentContext,
+    datasets: Sequence[str] = ("par02", "rea02", "axo03"),
+    method: str = "stairline",
+    update_fraction: float = 0.1,
+    compact_every: int = 32,
+) -> List[Dict]:
+    """Amortized per-write cost of both update engines, with a differential check."""
+    config = context.config
+    rows: List[Dict] = []
+    for dataset in datasets:
+        ops = _update_stream(context, dataset, update_fraction)
+        queries = context.queries(dataset, target_results=20)
+        for variant in config.variants:
+            # The context's clipped tree is cached and must never mutate;
+            # each manager owns a deep copy it is free to write to.
+            reference = context.clipped(dataset, variant, method=method)
+            refreeze = SnapshotManager(
+                copy.deepcopy(reference), update_engine="refreeze"
+            )
+            delta = SnapshotManager(
+                copy.deepcopy(reference),
+                update_engine="delta",
+                compact_every=compact_every,
+                clip_engine="vectorized" if config.build_engine == "vectorized" else "scalar",
+            )
+            refreeze_seconds = _apply(refreeze, ops)
+            delta_seconds = _apply(delta, ops)
+
+            # Both engines must serve identical live states, whichever one
+            # the config designates as the serving side.
+            serving, other = (
+                (delta, refreeze) if config.update_engine == "delta" else (refreeze, delta)
+            )
+            served = _result_keys(serving.range_query_batch(queries))
+            assert served == _result_keys(other.range_query_batch(queries))
+
+            per_update = 1000.0 / len(ops)
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "variant": VARIANT_LABELS[variant],
+                    "updates": len(ops),
+                    "refreeze_ms_per_update": round(refreeze_seconds * per_update, 3),
+                    "delta_ms_per_update": round(delta_seconds * per_update, 3),
+                    "speedup": round(refreeze_seconds / delta_seconds, 1)
+                    if delta_seconds > 0
+                    else float("inf"),
+                    "compactions": delta.total_compactions,
+                    "reclipped_nodes": delta.total_reclipped_nodes,
+                    "serving_engine": config.update_engine,
+                }
+            )
+    return rows

@@ -34,6 +34,7 @@ from repro.bench.experiments import (
     fig14_build_time,
     fig15_scalability,
     joins,
+    updates,
 )
 from repro.datasets.registry import DATASET_NAMES, dataset_info
 from repro.metrics.dead_space import average_dead_space, clipped_dead_space_summary
@@ -84,6 +85,9 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentContext], str]] = {
     "fig14": lambda context: format_table(fig14_build_time.run(context), title="Figure 14"),
     "joins": lambda context: format_table(joins.run(context), title="Spatial joins (§V)"),
     "fig15": lambda context: format_table(fig15_scalability.run(context), title="Figure 15"),
+    "updates": lambda context: format_table(
+        updates.run(context), title="Incremental updates (delta vs refreeze)"
+    ),
     "ablations": _run_ablations,
 }
 
@@ -98,6 +102,7 @@ _EXPERIMENT_DESCRIPTIONS = {
     "fig14": "build-time overhead of clipping",
     "joins": "INLJ and STT spatial joins with and without clipping",
     "fig15": "cold-disk scalability experiment",
+    "updates": "amortised write cost of delta overlay vs refreeze-per-write",
     "ablations": "τ sweep, scoring approximation error, k sweep",
 }
 
@@ -116,6 +121,8 @@ def _make_config(args: argparse.Namespace) -> BenchConfig:
         config.build_engine = args.build_engine
     if getattr(args, "join_engine", None) is not None:
         config.join_engine = args.join_engine
+    if getattr(args, "update_engine", None) is not None:
+        config.update_engine = args.update_engine
     return config
 
 
@@ -192,6 +199,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("scalar", "columnar"),
         default=None,
         help="join engine for the joins experiment (columnar = vectorized batch joins)",
+    )
+    run_parser.add_argument(
+        "--update-engine",
+        choices=("delta", "refreeze"),
+        default=None,
+        help="update engine for the updates experiment (delta = overlay + compaction)",
     )
 
     info_parser = subparsers.add_parser("build-info", help="build one index and summarise it")

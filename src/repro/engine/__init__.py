@@ -13,6 +13,13 @@ whole tree levels at once — the path behind
 ``ClippedRTree.clip_all(engine="vectorized")``, the ``--build-engine``
 CLI flag, and ``BenchConfig.build_engine``.
 
+Updates (the write-side twin): :class:`SnapshotManager` +
+:class:`DeltaOverlay` absorb inserts/deletes on top of a frozen snapshot
+and fold them in via compaction with dirty-node-only re-clipping
+(:func:`reclip_nodes`) — the path behind
+``BenchConfig.update_engine``, the ``--update-engine`` CLI flag, and the
+``updates`` experiment.
+
 Joins (the §V twin): :func:`inlj_batch` and :func:`stt_batch` run both
 spatial-join strategies over snapshots with scalar-identical pairs and
 I/O accounting — the path behind
@@ -27,17 +34,33 @@ for the harnesses pinning batch ≡ scalar.
 """
 
 from repro.engine.builder import build_columnar_str
-from repro.engine.bulk_clip import bulk_clip
-from repro.engine.columnar import ColumnarIndex
+from repro.engine.bulk_clip import bulk_clip, clip_nodes_batch
+from repro.engine.columnar import (
+    STALE_POLICIES,
+    ColumnarIndex,
+    StaleSnapshotError,
+    resolve_stale,
+)
+from repro.engine.delta import DeltaOverlay, SnapshotManager, overlay_join
 from repro.engine.executor import knn_batch, range_query_batch
+from repro.engine.incremental_clip import reclip_nodes, reclip_nodes_for_results
 from repro.engine.join_exec import inlj_batch, stt_batch
 
 __all__ = [
+    "STALE_POLICIES",
     "ColumnarIndex",
+    "DeltaOverlay",
+    "SnapshotManager",
+    "StaleSnapshotError",
     "build_columnar_str",
     "bulk_clip",
+    "clip_nodes_batch",
     "inlj_batch",
     "knn_batch",
+    "overlay_join",
     "range_query_batch",
+    "reclip_nodes",
+    "reclip_nodes_for_results",
+    "resolve_stale",
     "stt_batch",
 ]

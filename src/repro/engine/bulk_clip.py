@@ -79,18 +79,7 @@ def bulk_clip(
         store = ClipStore()
     else:
         store.clear()
-    dims = tree.dims
-    k = config.max_clip_points(dims)
-    if k == 0:
-        return store
-
-    groups: Dict[Tuple[int, int], List[Node]] = defaultdict(list)
-    for node in tree.nodes():
-        if node.entries:
-            groups[(node.level, len(node.entries))].append(node)
-    results: Dict[int, List[ClipPoint]] = {}
-    for (_, count), nodes in sorted(groups.items()):
-        _clip_group(nodes, count, dims, k, config, results)
+    results = clip_nodes_batch(list(tree.nodes()), tree.dims, config)
     # Fill the store in tree.nodes() order — the scalar clip_all insertion
     # order — so store iteration (and thus persisted bytes) is identical.
     for node in tree.nodes():
@@ -98,6 +87,32 @@ def bulk_clip(
         if clips:
             store.put(node.node_id, clips)
     return store
+
+
+def clip_nodes_batch(
+    nodes: List[Node], dims: int, config: ClippingConfig = ClippingConfig()
+) -> Dict[int, List[ClipPoint]]:
+    """Clip points for an arbitrary set of nodes, batched by (level, fan-out).
+
+    The shared core of :func:`bulk_clip` (every node of a tree) and the
+    incremental dirty-node re-clipper
+    (:func:`repro.engine.incremental_clip.reclip_nodes`, a handful of
+    nodes after a compaction).  Returns ``{node_id: [ClipPoint, ...]}``
+    containing only nodes that earned at least one clip point; each list
+    is value-for-value what the scalar ``compute_clip_points`` produces
+    for that node.
+    """
+    k = config.max_clip_points(dims)
+    results: Dict[int, List[ClipPoint]] = {}
+    if k == 0:
+        return results
+    groups: Dict[Tuple[int, int], List[Node]] = defaultdict(list)
+    for node in nodes:
+        if node.entries:
+            groups[(node.level, len(node.entries))].append(node)
+    for (_, count), group_nodes in sorted(groups.items()):
+        _clip_group(group_nodes, count, dims, k, config, results)
+    return results
 
 
 def _clip_group(

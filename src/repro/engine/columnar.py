@@ -41,6 +41,43 @@ from repro.geometry.objects import SpatialObject
 from repro.rtree.base import RTreeBase
 from repro.rtree.clipped import ClippedRTree
 
+#: Stale-snapshot policies accepted by :func:`resolve_stale` (and by the
+#: ``stale=`` parameter of ``execute_workload`` / ``execute_join``).
+STALE_POLICIES = ("refresh", "raise", "serve")
+
+
+class StaleSnapshotError(RuntimeError):
+    """A columnar snapshot was queried after its source tree mutated.
+
+    Raised by :func:`resolve_stale` under the ``"raise"`` policy; the
+    default policy transparently re-freezes instead.
+    """
+
+
+def resolve_stale(snapshot: "ColumnarIndex", policy: str = "refresh") -> "ColumnarIndex":
+    """Apply a staleness policy to ``snapshot`` before serving queries.
+
+    * ``"refresh"`` (default) — re-freeze from the mutated source and
+      return the fresh snapshot (a no-op when not stale);
+    * ``"raise"`` — raise :class:`StaleSnapshotError` when stale;
+    * ``"serve"`` — knowingly serve the frozen state (the pre-guard
+      behaviour, for callers that batch-amortise refreezes themselves).
+    """
+    if policy not in STALE_POLICIES:
+        raise ValueError(f"unknown stale policy {policy!r}; known: {STALE_POLICIES}")
+    if not snapshot.is_stale:
+        return snapshot
+    if policy == "refresh":
+        return snapshot.refresh()
+    if policy == "raise":
+        raise StaleSnapshotError(
+            f"snapshot of {type(snapshot.source).__name__} is stale "
+            f"(source version {snapshot._version_of(snapshot.source)!r} != "
+            f"frozen {snapshot.source_version!r}); refresh() it or pass "
+            "stale='refresh'"
+        )
+    return snapshot
+
 
 class ColumnarIndex:
     """An immutable, array-backed snapshot of one R-tree (+ clip points).

@@ -1,0 +1,114 @@
+"""Dirty-node re-clipping: Algorithm 1 restricted to the nodes an update
+batch actually touched.
+
+The write path of the delta engine (:mod:`repro.engine.delta`) applies a
+buffered batch of inserts/deletes to the source tree *without* the
+per-update re-clipping of :meth:`repro.rtree.clipped.ClippedRTree.insert`
+— change tracking (:class:`~repro.rtree.base.InsertResult` /
+:class:`~repro.rtree.base.DeleteResult`) accumulates the set of nodes
+whose entry lists changed, and :func:`reclip_nodes` recomputes exactly
+those nodes' clip points in one batched pass through
+:func:`repro.engine.bulk_clip.clip_nodes_batch`.
+
+Because a node's clip points are a pure function of its own entry
+rectangles, re-clipping the dirty set leaves the store identical to a
+full :meth:`~repro.rtree.clipped.ClippedRTree.clip_all` recompute —
+``tests/test_incremental_clip.py`` pins that equivalence across variants
+and update interleavings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set, Union
+
+from repro.engine.bulk_clip import clip_nodes_batch
+from repro.rtree.base import DeleteResult, InsertResult
+from repro.rtree.clipped import ClippedRTree
+
+
+def dirty_node_ids(
+    results: Iterable[Union[InsertResult, DeleteResult]],
+) -> Set[int]:
+    """Every node id whose entry list one of ``results`` may have changed.
+
+    Union of: the target leaf, split nodes and their new siblings, nodes
+    that received entries (``added_rects``), nodes that lost entries in
+    place, and nodes whose MBB moved.  A moved MBB also means the node's
+    *parent* entry rect was rewritten, so callers re-clipping against the
+    current tree must add each changed node's present parent — see
+    :func:`reclip_nodes_for_results`.
+    """
+    dirty: Set[int] = set()
+    for result in results:
+        if result.leaf_id is not None:
+            dirty.add(result.leaf_id)
+        dirty |= result.split_node_ids
+        dirty |= result.new_node_ids
+        dirty |= result.mbb_changed_node_ids
+        dirty |= result.entry_removed_node_ids
+        dirty.update(result.added_rects)
+    return dirty
+
+
+def reclip_nodes_for_results(
+    clipped: ClippedRTree,
+    results: Iterable[Union[InsertResult, DeleteResult]],
+    engine: str = "vectorized",
+) -> int:
+    """Re-clip everything a batch of tracked updates dirtied.
+
+    Adds the current parent of every MBB-changed node (its entry rect
+    for that child was refreshed), drops clip entries of removed nodes,
+    then delegates to :func:`reclip_nodes`.  Returns the number of live
+    nodes re-clipped.
+    """
+    results = list(results)
+    dirty = dirty_node_ids(results)
+    mbb_changed: Set[int] = set()
+    for result in results:
+        mbb_changed |= result.mbb_changed_node_ids
+        removed = getattr(result, "removed_node_ids", None)
+        if removed:
+            for node_id in removed:
+                clipped.store.remove(node_id)
+            dirty -= removed
+    if mbb_changed:
+        parents = clipped._parent_index()
+        for node_id in mbb_changed:
+            parent_id = parents.get(node_id)
+            if parent_id is not None:
+                dirty.add(parent_id)
+    return reclip_nodes(clipped, dirty, engine=engine)
+
+
+def reclip_nodes(
+    clipped: ClippedRTree, node_ids: Iterable[int], engine: str = "vectorized"
+) -> int:
+    """Recompute clip points for exactly ``node_ids`` of ``clipped``.
+
+    Ids of nodes that no longer exist are dropped from the store; each
+    surviving node gets the same clip points a full ``clip_all`` would
+    assign it (vectorized and scalar engines agree value for value).
+    Returns the number of live nodes re-clipped.
+    """
+    if engine not in ClippedRTree.CLIP_ENGINES:
+        raise ValueError(
+            f"unknown clip engine {engine!r}; known: {ClippedRTree.CLIP_ENGINES}"
+        )
+    tree = clipped.tree
+    ids = set(node_ids)
+    live = sorted(nid for nid in ids if tree.has_node(nid))
+    for node_id in ids.difference(live):
+        clipped.store.remove(node_id)
+    if engine == "scalar":
+        for node_id in live:
+            clipped._clip_node(tree.node(node_id))
+        return len(live)
+    results = clip_nodes_batch([tree.node(nid) for nid in live], tree.dims, clipped.config)
+    for node_id in live:
+        clips = results.get(node_id)
+        if clips:
+            clipped.store.put(node_id, clips)
+        else:
+            clipped.store.remove(node_id)
+    return len(live)

@@ -37,6 +37,14 @@ class Rect:
     def __setattr__(self, name, value):  # pragma: no cover - immutability guard
         raise AttributeError("Rect is immutable")
 
+    # Immutable, so copies may share the instance (deepcopy would otherwise
+    # trip over the __setattr__ guard while reconstructing the slots).
+    def __copy__(self) -> "Rect":
+        return self
+
+    def __deepcopy__(self, memo) -> "Rect":
+        return self
+
     # -- constructors ------------------------------------------------------
 
     @classmethod

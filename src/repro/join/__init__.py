@@ -23,12 +23,17 @@ JOIN_ENGINES = ("scalar", "columnar")
 JOIN_ALGORITHMS = ("inlj", "stt")
 
 
-def _as_snapshot(index):
-    """``index`` as a ColumnarIndex, freezing trees on the fly."""
-    from repro.engine import ColumnarIndex
+def _as_snapshot(index, stale: str = "refresh"):
+    """``index`` as a ColumnarIndex, freezing trees on the fly.
+
+    A pre-frozen snapshot whose source has mutated is resolved through
+    the ``stale`` policy (refresh by default) so joins never silently
+    run against an outdated freeze.
+    """
+    from repro.engine import ColumnarIndex, resolve_stale
 
     if isinstance(index, ColumnarIndex):
-        return index
+        return resolve_stale(index, stale)
     return ColumnarIndex.from_tree(index)
 
 
@@ -38,6 +43,7 @@ def execute_join(
     algorithm: str = "stt",
     engine: str = "scalar",
     collect_pairs: bool = True,
+    stale: str = "refresh",
 ) -> JoinResult:
     """Run one spatial join with the selected algorithm and engine.
 
@@ -54,6 +60,13 @@ def execute_join(
     frozen on the fly; pass snapshots to amortise the freeze across many
     joins).  Both engines return identical results and I/O accounting;
     ``tests/test_join_differential.py`` pins the equivalence.
+
+    Pre-frozen snapshots are checked for staleness under the ``stale``
+    policy (``"refresh"`` / ``"raise"`` / ``"serve"``, see
+    :func:`repro.engine.columnar.resolve_stale`).  Either side may also
+    be a :class:`~repro.engine.delta.SnapshotManager`, in which case the
+    join merges its base snapshot with the pending delta regardless of
+    ``engine``.
     """
     if algorithm not in JOIN_ALGORITHMS:
         raise ValueError(
@@ -61,14 +74,26 @@ def execute_join(
         )
     if engine not in JOIN_ENGINES:
         raise ValueError(f"unknown join engine {engine!r}; known: {JOIN_ENGINES}")
+    if getattr(left, "is_snapshot_manager", False) or getattr(
+        right, "is_snapshot_manager", False
+    ):
+        # A SnapshotManager serves base + pending delta; its merge join is
+        # the only engine that sees both layers.
+        from repro.engine.delta import overlay_join
+
+        return overlay_join(left, right, algorithm=algorithm, collect_pairs=collect_pairs)
     if engine == "columnar":
         # Imported lazily: the scalar path must not require NumPy.
         from repro.engine.join_exec import inlj_batch, stt_batch
 
         if algorithm == "inlj":
-            return inlj_batch(left, _as_snapshot(right), collect_pairs=collect_pairs)
+            return inlj_batch(
+                left, _as_snapshot(right, stale), collect_pairs=collect_pairs
+            )
         return stt_batch(
-            _as_snapshot(left), _as_snapshot(right), collect_pairs=collect_pairs
+            _as_snapshot(left, stale),
+            _as_snapshot(right, stale),
+            collect_pairs=collect_pairs,
         )
     if algorithm == "inlj":
         return index_nested_loop_join(left, right, collect_pairs=collect_pairs)

@@ -57,6 +57,7 @@ def execute_workload(
     index: SupportsRangeQuery,
     queries: Iterable[Rect],
     engine: str = "scalar",
+    stale: str = "refresh",
 ) -> WorkloadResult:
     """Run every query against ``index`` and accumulate I/O statistics.
 
@@ -72,21 +73,37 @@ def execute_workload(
 
     Passing an already-frozen ``ColumnarIndex`` selects the columnar
     engine automatically — a snapshot has no scalar traversal to fall
-    back on.
+    back on.  A pre-frozen snapshot whose source tree has mutated is
+    handled per ``stale``: ``"refresh"`` (default) re-freezes first,
+    ``"raise"`` raises
+    :class:`~repro.engine.columnar.StaleSnapshotError`, ``"serve"``
+    knowingly answers from the frozen state.  A
+    :class:`~repro.engine.delta.SnapshotManager` is served through its
+    base + delta merge regardless of ``engine``.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
-    if engine == "columnar" or not hasattr(index, "range_query"):
+    if (
+        engine == "columnar"
+        or not hasattr(index, "range_query")
+        or getattr(index, "is_snapshot_manager", False)
+    ):
         # Imported lazily: the engine pulls in NumPy-heavy modules that the
         # scalar path never needs.  An already-frozen ColumnarIndex has no
         # scalar traversal, so it always runs columnar regardless of the
         # ``engine`` default.
-        from repro.engine import ColumnarIndex, range_query_batch
+        from repro.engine import ColumnarIndex, range_query_batch, resolve_stale
 
-        snapshot = index if isinstance(index, ColumnarIndex) else ColumnarIndex.from_tree(index)
         stats = IOStats()
         queries = list(queries)
-        results = range_query_batch(snapshot, queries, stats=stats)
+        if getattr(index, "is_snapshot_manager", False):
+            results = index.range_query_batch(queries, stats=stats)
+        else:
+            if isinstance(index, ColumnarIndex):
+                snapshot = resolve_stale(index, stale)
+            else:
+                snapshot = ColumnarIndex.from_tree(index)
+            results = range_query_batch(snapshot, queries, stats=stats)
         total_results = sum(len(r) for r in results)
         return WorkloadResult(queries=len(queries), total_results=total_results, stats=stats)
 

@@ -28,6 +28,14 @@ class InsertResult:
     parent, forced-reinsertion targets, ...); these are the nodes whose
     clip points may have been invalidated even though their own MBB did
     not move.
+
+    ``entry_removed_node_ids`` holds nodes that *lost* entries without
+    being split (forced reinsertion evicting entries, a parent dropping
+    an underfull child during condense-tree).  ``mbb_changed_node_ids``
+    records the *child* whose parent entry rect was refreshed; together
+    these sets let the incremental re-clipper
+    (:mod:`repro.engine.incremental_clip`) find every node whose entry
+    list changed.
     """
 
     leaf_id: Optional[int] = None
@@ -35,6 +43,7 @@ class InsertResult:
     new_node_ids: Set[int] = field(default_factory=set)
     mbb_changed_node_ids: Set[int] = field(default_factory=set)
     added_rects: Dict[int, List[Rect]] = field(default_factory=dict)
+    entry_removed_node_ids: Set[int] = field(default_factory=set)
     reinserted_entries: int = 0
 
     def record_added(self, node_id: int, rect: Rect) -> None:
@@ -47,7 +56,11 @@ class DeleteResult:
     """What one deletion changed.
 
     Deleting can trigger re-insertion of orphaned entries (condense tree),
-    so it carries the same ``added_rects`` bookkeeping as insertion.
+    so it carries the same ``added_rects`` bookkeeping as insertion —
+    plus ``split_node_ids`` / ``new_node_ids`` for splits those
+    re-insertions may cause, and ``entry_removed_node_ids`` for nodes
+    that lost an entry in place (the leaf that held the object, parents
+    that dropped an underfull child).
     """
 
     found: bool = False
@@ -55,6 +68,9 @@ class DeleteResult:
     mbb_changed_node_ids: Set[int] = field(default_factory=set)
     removed_node_ids: Set[int] = field(default_factory=set)
     added_rects: Dict[int, List[Rect]] = field(default_factory=dict)
+    split_node_ids: Set[int] = field(default_factory=set)
+    new_node_ids: Set[int] = field(default_factory=set)
+    entry_removed_node_ids: Set[int] = field(default_factory=set)
 
 
 def resolve_min_entries(max_entries: int, min_entries: Optional[int] = None) -> int:
@@ -289,6 +305,7 @@ class RTreeBase:
         for i, entry in enumerate(leaf.entries):
             if not entry.is_node_pointer and entry.child.oid == obj.oid and entry.rect == obj.rect:
                 del leaf.entries[i]
+                result.entry_removed_node_ids.add(leaf.node_id)
                 break
         self._size -= 1
         self._version += 1
@@ -331,6 +348,7 @@ class RTreeBase:
                 ]
                 orphans.append((node.level, list(node.entries)))
                 result.removed_node_ids.add(node.node_id)
+                result.entry_removed_node_ids.add(parent.node_id)
                 del self._nodes[node.node_id]
             else:
                 if self._refresh_parent_entry(parent, node):
@@ -344,6 +362,15 @@ class RTreeBase:
                 self._insert_entry(entry, level, insert_result)
         result.mbb_changed_node_ids.update(
             nid for nid in insert_result.mbb_changed_node_ids if nid in self._nodes
+        )
+        result.split_node_ids.update(
+            nid for nid in insert_result.split_node_ids if nid in self._nodes
+        )
+        result.new_node_ids.update(
+            nid for nid in insert_result.new_node_ids if nid in self._nodes
+        )
+        result.entry_removed_node_ids.update(
+            nid for nid in insert_result.entry_removed_node_ids if nid in self._nodes
         )
         for node_id, rects in insert_result.added_rects.items():
             if node_id in self._nodes:

@@ -212,7 +212,7 @@ class ClippedRTree:
         for node_id in result.removed_node_ids:
             self.store.remove(node_id)
         return self._apply_structural_changes(
-            split_ids=set(),
+            split_ids=result.split_node_ids | result.new_node_ids,
             changed_ids=result.mbb_changed_node_ids,
             added_rects=result.added_rects,
         )
@@ -265,6 +265,35 @@ class ClippedRTree:
             if any(not insertion_keeps_clips_valid(mbb, clips, rect) for rect in new_rects):
                 reclip(node_id, ReclipCause.CBB_ONLY)
         return report
+
+    def reclip_nodes(self, node_ids: Iterable[int], engine: str = "scalar") -> int:
+        """Recompute clip points for exactly ``node_ids`` (§IV-D, batched).
+
+        Ids of nodes that no longer exist are dropped from the store; the
+        surviving nodes get freshly computed clip points — identical to
+        what a full :meth:`clip_all` would assign them.  Returns the
+        number of live nodes re-clipped.  ``engine`` selects scalar
+        per-node Algorithm 1 or the batched kernels of
+        :func:`repro.engine.incremental_clip.reclip_nodes` (the
+        compaction path of :class:`repro.engine.delta.SnapshotManager`).
+        """
+        if engine not in self.CLIP_ENGINES:
+            raise ValueError(
+                f"unknown clip engine {engine!r}; known: {self.CLIP_ENGINES}"
+            )
+        if engine == "vectorized":
+            # Imported lazily: the scalar path must not require NumPy.
+            from repro.engine.incremental_clip import reclip_nodes
+
+            return reclip_nodes(self, node_ids, engine="vectorized")
+        count = 0
+        for node_id in sorted(set(node_ids)):
+            if self.tree.has_node(node_id):
+                self._clip_node(self.tree.node(node_id))
+                count += 1
+            else:
+                self.store.remove(node_id)
+        return count
 
     def _parent_index(self) -> Dict[int, int]:
         """Map of node id -> parent node id (rebuilt on demand)."""

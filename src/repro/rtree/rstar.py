@@ -92,6 +92,7 @@ class RStarTree(RTreeBase):
         )
         keep, removed = ordered[:-count], ordered[-count:]
         node.entries = keep
+        result.entry_removed_node_ids.add(node.node_id)
         result.reinserted_entries += len(removed)
 
         # Tighten the ancestors before re-inserting (close reinsert).

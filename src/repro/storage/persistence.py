@@ -39,7 +39,12 @@ from repro.rtree.rrstar import RRStarTree
 from repro.rtree.rstar import RStarTree
 
 _MAGIC = b"CBBRTREE"
-_VERSION = 1
+#: v2 widened the clip-point mask field from ``<I`` (32-bit) to ``<Q``:
+#: corner bitmasks have one bit per dimension, so any index beyond 32
+#: dimensions overflows — and ``struct.pack`` refuses — the old field.
+#: v1 files remain loadable.
+_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 _VARIANT_CODES: Dict[str, int] = {
     "quadratic": 1,
@@ -108,7 +113,7 @@ def save_tree(
         for node_id, clips in clip_entries:
             out.write(struct.pack("<qI", node_id, len(clips)))
             for clip in clips:
-                out.write(struct.pack("<Id", clip.mask, clip.score))
+                out.write(struct.pack("<Qd", clip.mask, clip.score))
                 for value in clip.coord:
                     out.write(struct.pack("<d", value))
 
@@ -128,7 +133,7 @@ def load_tree(path: Union[str, Path]) -> Tuple[RTreeBase, Optional[ClippedRTree]
         version, variant_code, dims, max_entries, min_entries, root_id, size = struct.unpack(
             "<HHIIIqI", data.read(struct.calcsize("<HHIIIqI"))
         )
-        if version != _VERSION:
+        if version not in _SUPPORTED_VERSIONS:
             raise ValueError(f"unsupported file version {version}")
 
         cls = _VARIANT_CLASSES.get(variant_code, QuadraticRTree)
@@ -157,11 +162,14 @@ def load_tree(path: Union[str, Path]) -> Tuple[RTreeBase, Optional[ClippedRTree]
         if clip_node_count == 0:
             return tree, None
         clipped = ClippedRTree(tree)
+        # v1 stored the mask as 32-bit; v2 widened it to 64-bit.
+        clip_format = "<Qd" if version >= 2 else "<Id"
+        clip_header_size = struct.calcsize(clip_format)
         for _ in range(clip_node_count):
             node_id, clip_count = struct.unpack("<qI", data.read(12))
             clips = []
             for _ in range(clip_count):
-                mask, score = struct.unpack("<Id", data.read(12))
+                mask, score = struct.unpack(clip_format, data.read(clip_header_size))
                 coord = struct.unpack(f"<{dims}d", data.read(8 * dims))
                 clips.append(ClipPoint(coord, mask, score))
             clipped.store.put(node_id, clips)

@@ -22,6 +22,7 @@ from repro.bench.experiments import (
     fig14_build_time,
     fig15_scalability,
     joins,
+    updates,
 )
 
 
@@ -112,6 +113,16 @@ class TestExperimentsRun:
         rows = joins.run(tiny_context, variants=("quadratic",))
         assert len(rows) == 1
         assert rows[0]["inlj_clipped_leaf_acc"] <= rows[0]["inlj_leaf_acc"]
+
+    def test_updates(self, tiny_context):
+        rows = updates.run(tiny_context, datasets=("par02",))
+        assert len(rows) == len(tiny_context.config.variants)
+        for row in rows:
+            assert row["updates"] > 0
+            assert row["refreeze_ms_per_update"] > 0.0
+            assert row["delta_ms_per_update"] > 0.0
+            assert row["compactions"] >= 1
+            assert row["serving_engine"] == tiny_context.config.update_engine
 
     def test_fig15(self, tiny_context):
         rows = fig15_scalability.run(

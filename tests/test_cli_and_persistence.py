@@ -1,13 +1,16 @@
 """Tests for the command-line interface and the tree persistence format."""
 
+import struct
+
 import pytest
 
+from repro.cbb.clip_point import ClipPoint
 from repro.cli import EXPERIMENTS, build_parser, main
 from repro.geometry.rect import Rect
 from repro.query.range_query import brute_force_range
 from repro.rtree.clipped import ClippedRTree
 from repro.rtree.registry import VARIANT_NAMES, build_rtree
-from repro.storage.persistence import load_tree, save_tree
+from repro.storage.persistence import _MAGIC, load_tree, save_tree
 from tests.conftest import make_random_objects
 
 
@@ -67,6 +70,91 @@ class TestPersistence:
         with pytest.raises(ValueError):
             load_tree(path)
 
+    def test_rejects_unknown_version(self, tmp_path, small_objects_2d):
+        tree = build_rtree("quadratic", small_objects_2d, max_entries=8)
+        path = tmp_path / "future.cbbr"
+        save_tree(tree, path)
+        data = bytearray(path.read_bytes())
+        struct.pack_into("<H", data, len(_MAGIC), 99)
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="version"):
+            load_tree(path)
+
+    def test_roundtrip_8d_clipped_tree(self, tmp_path):
+        """Regression: the v1 32-bit mask field was too narrow for high d."""
+        objects = make_random_objects(40, dims=8, seed=9)
+        tree = build_rtree("quadratic", objects, max_entries=8)
+        clipped = ClippedRTree.wrap(tree, method="stairline", k=4)
+        path = tmp_path / "tree8d.cbbr"
+        save_tree(clipped, path)
+        loaded_tree, loaded_clipped = load_tree(path)
+        assert loaded_tree.dims == 8
+        assert loaded_clipped is not None
+        assert dict(loaded_clipped.store.items()) == dict(clipped.store.items())
+        loaded_clipped.check_clip_invariants()
+
+    def test_roundtrip_mask_beyond_32_bits(self, tmp_path):
+        """Masks with bits past position 31 survive the v2 ``<Q`` field.
+
+        Organically clipping a >32-dimensional tree is infeasible (corner
+        enumeration is exponential), so the wide mask is planted directly.
+        """
+        dims = 40
+        objects = make_random_objects(12, dims=dims, seed=10)
+        tree = build_rtree("quadratic", objects, max_entries=8)
+        clipped = ClippedRTree(tree)
+        wide_mask = (1 << 33) + 5
+        coord = tuple(50.0 for _ in range(dims))
+        clipped.store.put(tree.root_id, [ClipPoint(coord, wide_mask, score=1.0)])
+        path = tmp_path / "wide.cbbr"
+        save_tree(clipped, path)
+        _, loaded_clipped = load_tree(path)
+        (clip,) = loaded_clipped.store.get(tree.root_id)
+        assert clip.mask == wide_mask
+        assert clip.coord == coord
+
+    def test_loads_v1_files(self, tmp_path, small_objects_2d):
+        """Files written by the old 32-bit-mask format stay loadable."""
+        tree = build_rtree("quadratic", small_objects_2d, max_entries=8)
+        clipped = ClippedRTree.wrap(tree, method="stairline")
+        path = tmp_path / "legacy.cbbr"
+        self._save_v1(clipped, path)
+        loaded_tree, loaded_clipped = load_tree(path)
+        assert len(loaded_tree) == len(tree)
+        assert loaded_clipped is not None
+        assert dict(loaded_clipped.store.items()) == dict(clipped.store.items())
+        loaded_clipped.check_clip_invariants()
+
+    @staticmethod
+    def _save_v1(clipped, path):
+        """Write ``clipped`` exactly as the version-1 format did."""
+        tree = clipped.tree
+        with path.open("wb") as out:
+            out.write(_MAGIC)
+            out.write(
+                struct.pack(
+                    "<HHIIIqI", 1, 1, tree.dims, tree.max_entries,
+                    tree.min_entries, tree.root_id, len(tree),
+                )
+            )
+            nodes = list(tree.nodes())
+            out.write(struct.pack("<I", len(nodes)))
+            for node in nodes:
+                out.write(struct.pack("<qII", node.node_id, node.level, len(node.entries)))
+                for entry in node.entries:
+                    for value in entry.rect.low + entry.rect.high:
+                        out.write(struct.pack("<d", value))
+                    child = entry.child if entry.is_node_pointer else entry.child.oid
+                    out.write(struct.pack("<q", child))
+            clip_entries = list(clipped.store.items())
+            out.write(struct.pack("<I", len(clip_entries)))
+            for node_id, clips in clip_entries:
+                out.write(struct.pack("<qI", node_id, len(clips)))
+                for clip in clips:
+                    out.write(struct.pack("<Id", clip.mask, clip.score))
+                    for value in clip.coord:
+                        out.write(struct.pack("<d", value))
+
 
 class TestCli:
     def test_parser_requires_command(self):
@@ -107,3 +195,18 @@ class TestCli:
     def test_build_info_rejects_unknown_names(self, capsys):
         assert main(["build-info", "nope", "rstar"]) == 2
         assert main(["build-info", "par02", "kd-tree"]) == 2
+
+    def test_update_engine_flag_parses(self):
+        args = build_parser().parse_args(["run", "updates", "--update-engine", "refreeze"])
+        assert args.update_engine == "refreeze"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "updates", "--update-engine", "eager"])
+
+    def test_run_updates_experiment(self, capsys):
+        assert main([
+            "run", "updates", "--size", "150", "--queries", "4",
+            "--max-entries", "8", "--update-engine", "refreeze",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "refreeze_ms_per_update" in output
+        assert "refreeze" in output

@@ -1,0 +1,318 @@
+"""Differential tests: SnapshotManager (base + delta) ≡ scalar ClippedRTree.
+
+The delta overlay's one promise is that buffering writes must be
+invisible to readers: after any interleaving of inserts, deletes,
+queries, and compactions, a manager answers exactly like a scalar
+``ClippedRTree`` maintained with the same operations.  The manager's
+*tree* may legitimately diverge structurally (compaction applies the
+buffered batch in one pass, the scalar reference one write at a time),
+so clip-store equality is pinned against a fresh ``clip_all`` over the
+manager's own tree, while query results are pinned against the scalar
+reference and brute force.
+"""
+
+import copy
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import build_columnar_str
+from repro.engine.delta import DeltaOverlay, SnapshotManager, object_key
+from repro.geometry.objects import SpatialObject
+from repro.geometry.rect import Rect
+from repro.join import execute_join
+from repro.join.inlj import index_nested_loop_join
+from repro.join.stt import synchronized_tree_traversal_join
+from repro.query.knn import knn_query
+from repro.query.range_query import brute_force_range, execute_workload
+from repro.rtree.clipped import ClippedRTree
+from repro.rtree.registry import VARIANT_NAMES, build_rtree
+from repro.storage.stats import IOStats
+
+
+def _random_object(rng, oid):
+    low = (rng.uniform(0, 100), rng.uniform(0, 100))
+    high = (low[0] + rng.uniform(0, 6), low[1] + rng.uniform(0, 6))
+    return SpatialObject(oid, Rect(low, high))
+
+
+def _keys(hits):
+    return sorted((o.oid, o.rect.low, o.rect.high) for o in hits)
+
+
+def _queries(rng, count=8):
+    out = []
+    for _ in range(count):
+        cx, cy = rng.uniform(0, 100), rng.uniform(0, 100)
+        size = rng.uniform(2, 30)
+        out.append(Rect((cx, cy), (cx + size, cy + size)))
+    return out
+
+
+def _assert_matches_scalar(manager, reference, live, rng):
+    queries = _queries(rng)
+    stats = IOStats()
+    batched = manager.range_query_batch(queries, stats=stats)
+    for query, hits in zip(queries, batched):
+        expected = _keys(reference.range_query(query))
+        assert _keys(hits) == expected
+        assert expected == _keys(brute_force_range(live, query))
+    if live:
+        assert stats.leaf_accesses > 0
+    points = [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(4)]
+    k = min(5, len(live)) or 1
+    for point, hits in zip(points, manager.knn_batch(points, k)):
+        expected = knn_query(reference.tree, point, k)
+        assert sorted((d, o.oid) for d, o in hits) == sorted(
+            (d, o.oid) for d, o in expected
+        )
+    assert len(manager) == len(live) == len(reference)
+
+
+class TestInterleavedUpdates:
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from(VARIANT_NAMES),
+        st.sampled_from([None, 7, 13]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_arbitrary_interleaving_matches_scalar(self, seed, variant, compact_every):
+        rng = random.Random(seed)
+        live = [_random_object(rng, i) for i in range(40)]
+        # Duplicates (same oid AND rect) exercise the tombstone counts.
+        live += [SpatialObject(o.oid, o.rect) for o in live[:4]]
+        reference = ClippedRTree.wrap(
+            build_rtree(variant, live, max_entries=6), method="stairline"
+        )
+        manager = SnapshotManager(
+            copy.deepcopy(reference),
+            update_engine="delta",
+            compact_every=compact_every,
+        )
+        next_oid = 1000
+        for step in range(50):
+            if live and rng.random() < 0.45:
+                victim = live.pop(rng.randrange(len(live)))
+                reference.delete(victim)
+                assert manager.delete(victim)
+            else:
+                obj = _random_object(rng, next_oid)
+                next_oid += 1
+                live.append(obj)
+                reference.insert(obj)
+                manager.insert(obj)
+            if step % 17 == 16:
+                _assert_matches_scalar(manager, reference, live, rng)
+            if compact_every is None and rng.random() < 0.08:
+                manager.compact()
+        _assert_matches_scalar(manager, reference, live, rng)
+
+        # After a final fold the manager's store must equal a full clipping
+        # pass over its own tree, and hold every invariant.
+        manager.compact()
+        assert manager.pending_ops == 0
+        source = manager._source
+        recomputed = ClippedRTree(copy.deepcopy(source.tree), source.config)
+        recomputed.clip_all()
+        assert dict(source.store.items()) == dict(recomputed.store.items())
+        source.check_clip_invariants()
+        source.tree.check_invariants()
+        _assert_matches_scalar(manager, reference, live, rng)
+
+    def test_refreeze_engine_matches_scalar(self):
+        rng = random.Random(5)
+        live = [_random_object(rng, i) for i in range(30)]
+        reference = ClippedRTree.wrap(
+            build_rtree("quadratic", live, max_entries=6), method="stairline"
+        )
+        manager = SnapshotManager(copy.deepcopy(reference), update_engine="refreeze")
+        for step in range(25):
+            if live and rng.random() < 0.5:
+                victim = live.pop(rng.randrange(len(live)))
+                reference.delete(victim)
+                assert manager.delete(victim)
+            else:
+                obj = _random_object(rng, 500 + step)
+                live.append(obj)
+                reference.insert(obj)
+                manager.insert(obj)
+        assert manager.pending_ops == 0
+        _assert_matches_scalar(manager, reference, live, rng)
+
+
+class TestEdgeCases:
+    def _manager(self, seed=3, count=25, **kwargs):
+        rng = random.Random(seed)
+        live = [_random_object(rng, i) for i in range(count)]
+        clipped = ClippedRTree.wrap(
+            build_rtree("quadratic", live, max_entries=6), method="stairline"
+        )
+        return live, SnapshotManager(clipped, **kwargs)
+
+    def test_empty_delta_compact_is_noop(self):
+        _, manager = self._manager()
+        epoch = manager.epoch
+        stats = manager.compact()
+        assert (stats.applied_inserts, stats.applied_deletes, stats.reclipped_nodes) == (0, 0, 0)
+        assert manager.epoch == epoch
+
+    def test_delete_unknown_object_returns_false(self):
+        rng = random.Random(11)
+        _, manager = self._manager()
+        ghost = _random_object(rng, 9999)
+        assert not manager.delete(ghost)
+        assert manager.pending_ops == 0
+        manager.insert(ghost)
+        assert manager.delete(ghost)
+        # A second delete of the same object must fail again.
+        assert not manager.delete(ghost)
+
+    def test_insert_then_delete_in_overlay_cancels_out(self):
+        rng = random.Random(12)
+        live, manager = self._manager()
+        obj = _random_object(rng, 777)
+        manager.insert(obj)
+        assert manager.delete(obj)
+        assert not manager.overlay.has_deletes
+        assert _keys(manager.live_objects()) == _keys(live)
+        stats = manager.compact()
+        assert (stats.applied_inserts, stats.applied_deletes) == (0, 0)
+
+    def test_delete_everything(self):
+        live, manager = self._manager()
+        for obj in live:
+            assert manager.delete(obj)
+        assert len(manager) == 0
+        query = Rect((0, 0), (200, 200))
+        assert manager.range_query(query) == []
+        assert manager.knn_batch([(50, 50)], 3) == [[]]
+        manager.compact()
+        assert len(manager) == 0
+        assert manager.range_query(query) == []
+        # The emptied index keeps accepting writes.
+        obj = _random_object(random.Random(1), 42)
+        manager.insert(obj)
+        assert _keys(manager.range_query(query)) == _keys([obj])
+
+    def test_duplicate_objects_delete_one_copy_at_a_time(self):
+        rng = random.Random(13)
+        obj = _random_object(rng, 1)
+        live = [obj, SpatialObject(obj.oid, obj.rect), _random_object(rng, 2)]
+        clipped = ClippedRTree.wrap(
+            build_rtree("quadratic", live, max_entries=4), method="stairline"
+        )
+        manager = SnapshotManager(clipped)
+        assert manager.delete(obj)
+        hits = manager.range_query(obj.rect)
+        assert sum(1 for o in hits if object_key(o) == object_key(obj)) == 1
+        assert manager.delete(obj)
+        assert not manager.delete(obj)
+
+    def test_source_free_manager(self):
+        rng = random.Random(14)
+        live = [_random_object(rng, i) for i in range(30)]
+        manager = SnapshotManager(build_columnar_str(live, max_entries=8))
+        extra = [_random_object(rng, 100 + i) for i in range(10)]
+        for obj in extra:
+            manager.insert(obj)
+        victims = live[:8]
+        for obj in victims:
+            assert manager.delete(obj)
+        expected_live = live[8:] + extra
+        for query in _queries(rng, 5):
+            assert _keys(manager.range_query(query)) == _keys(
+                brute_force_range(expected_live, query)
+            )
+        manager.compact()
+        assert not manager.snapshot.is_stale
+        for query in _queries(rng, 5):
+            assert _keys(manager.range_query(query)) == _keys(
+                brute_force_range(expected_live, query)
+            )
+
+    def test_rejects_unknown_engine_and_bad_compact_every(self):
+        live, _ = self._manager()
+        clipped = ClippedRTree.wrap(build_rtree("quadratic", live, max_entries=6))
+        with pytest.raises(ValueError):
+            SnapshotManager(clipped, update_engine="lazy")
+        with pytest.raises(ValueError):
+            SnapshotManager(clipped, compact_every=0)
+
+    def test_overlay_rejects_dimension_mismatch(self):
+        live, manager = self._manager()
+        overlay = manager.overlay
+        assert isinstance(overlay, DeltaOverlay)
+        bad = SpatialObject(1, Rect((0, 0, 0), (1, 1, 1)))
+        with pytest.raises(ValueError):
+            overlay.insert(bad)
+
+
+class TestWorkloadAndJoinRouting:
+    def test_execute_workload_routes_managers(self):
+        rng = random.Random(21)
+        live = [_random_object(rng, i) for i in range(40)]
+        reference = ClippedRTree.wrap(
+            build_rtree("quadratic", live, max_entries=6), method="stairline"
+        )
+        manager = SnapshotManager(copy.deepcopy(reference), update_engine="delta")
+        extra = [_random_object(rng, 100 + i) for i in range(10)]
+        for obj in extra:
+            reference.insert(obj)
+            manager.insert(obj)
+        queries = _queries(rng, 6)
+        managed = execute_workload(manager, queries)
+        scalar = execute_workload(reference, queries, engine="scalar")
+        assert managed.queries == scalar.queries
+        assert managed.total_results == scalar.total_results
+
+    @pytest.mark.parametrize("algorithm", ["inlj", "stt"])
+    def test_joins_with_pending_deltas_match_scalar(self, algorithm):
+        rng = random.Random(22)
+        left_live = [_random_object(rng, i) for i in range(30)]
+        right_live = [_random_object(rng, 1000 + i) for i in range(30)]
+        left_mgr = SnapshotManager(
+            ClippedRTree.wrap(build_rtree("quadratic", left_live, max_entries=6))
+        )
+        right_mgr = SnapshotManager(
+            ClippedRTree.wrap(build_rtree("quadratic", right_live, max_entries=6))
+        )
+        # Mutate both sides so base, tombstones, and delta trees all engage.
+        for mgr, live, base_oid in ((left_mgr, left_live, 50), (right_mgr, right_live, 2000)):
+            for i in range(6):
+                obj = _random_object(rng, base_oid + i)
+                mgr.insert(obj)
+                live.append(obj)
+            for _ in range(6):
+                victim = live.pop(rng.randrange(len(live)))
+                assert mgr.delete(victim)
+
+        left_tree = ClippedRTree.wrap(build_rtree("quadratic", left_live, max_entries=6))
+        right_tree = ClippedRTree.wrap(build_rtree("quadratic", right_live, max_entries=6))
+        if algorithm == "inlj":
+            managed = execute_join(left_mgr, right_mgr, algorithm="inlj")
+            scalar = index_nested_loop_join(left_live, right_tree)
+        else:
+            managed = execute_join(left_mgr, right_mgr, algorithm="stt")
+            scalar = synchronized_tree_traversal_join(left_tree, right_tree)
+
+        def pair_keys(pairs):
+            return sorted((object_key(l), object_key(r)) for l, r in pairs)
+
+        assert managed.pair_count == scalar.pair_count
+        assert pair_keys(managed.pairs) == pair_keys(scalar.pairs)
+
+    def test_join_manager_against_plain_tree(self):
+        rng = random.Random(23)
+        left_live = [_random_object(rng, i) for i in range(25)]
+        right_live = [_random_object(rng, 500 + i) for i in range(25)]
+        manager = SnapshotManager(build_rtree("quadratic", left_live, max_entries=6))
+        for _ in range(5):
+            victim = left_live.pop(rng.randrange(len(left_live)))
+            assert manager.delete(victim)
+        right_tree = build_rtree("quadratic", right_live, max_entries=6)
+        managed = execute_join(manager, right_tree, algorithm="stt")
+        scalar = synchronized_tree_traversal_join(
+            build_rtree("quadratic", left_live, max_entries=6), right_tree
+        )
+        assert managed.pair_count == scalar.pair_count
