@@ -1,0 +1,241 @@
+"""Benchmark: zero-copy snapshot loads + multi-process sharded execution.
+
+Two claims are measured and recorded in ``benchmarks/BENCH_parallel.json``:
+
+1. **Snapshot loading** — opening a saved snapshot with ``mmap=True``
+   must be ≥ 10× faster than rebuilding the same index from its objects
+   (``build_columnar_str``, itself the fast array-native bulk load).
+   This floor is enforced everywhere: it does not need spare cores.
+2. **Sharded execution** — a scaled Figure-15-style range workload
+   (≥ 250 000 objects, ≥ 10 000 queries) and the §V 6 000 × 6 000
+   neurite joins, each run single-worker vs through a
+   :class:`ParallelExecutor` pool at ≥ 4 workers, must speed up ≥ 3×.
+   These floors are only *enforced* when the runner actually has ≥ 4
+   usable cores (``os.sched_getaffinity``); the measurements are
+   recorded either way, with a ``parallel_floors_enforced`` flag saying
+   which regime produced the file.
+
+Every parallel run is first checked for exactness against the serial
+engine (result counts and ``IOStats``) — a speedup over wrong answers
+counts for nothing.  ``REPRO_PARALLEL_BENCH_SCALE`` scales the workload.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.neurites import NeuriteGenerator
+from repro.engine import (
+    ColumnarIndex,
+    ParallelExecutor,
+    build_columnar_str,
+    inlj_batch,
+    load_snapshot,
+    range_query_batch,
+    save_snapshot,
+    stt_batch,
+)
+from repro.geometry.objects import SpatialObject
+from repro.geometry.rect import Rect
+from repro.query.workload import RangeQueryWorkload
+from repro.rtree.clipped import ClippedRTree
+from repro.rtree.registry import build_rtree
+from repro.storage.stats import IOStats
+
+BENCH_PATH = Path(__file__).resolve().parent / "BENCH_parallel.json"
+#: Acceptance floors from the issue.
+MIN_LOAD_SPEEDUP = 10.0  # mmap cold load vs rebuild-from-objects
+MIN_PARALLEL_SPEEDUP = 3.0  # pooled vs single-worker columnar, at 4+ workers
+POOL_WORKERS = 4
+RANGE_MAX_ENTRIES = 50
+JOIN_MAX_ENTRIES = 32
+
+
+def _scale() -> float:
+    try:
+        return float(os.environ.get("REPRO_PARALLEL_BENCH_SCALE", "1"))
+    except ValueError:
+        return 1.0
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _best_of(fn, repeats):
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def _uniform_objects(count: int, dims: int = 2, seed: int = 7):
+    """Vectorised random-box generation — 250k objects in a few seconds."""
+    rng = np.random.default_rng(seed)
+    lows = rng.uniform(0.0, 1000.0, (count, dims))
+    highs = lows + rng.uniform(0.05, 1.5, (count, dims))
+    return [
+        SpatialObject(i, Rect(low, high))
+        for i, (low, high) in enumerate(zip(lows.tolist(), highs.tolist()))
+    ]
+
+
+def test_parallel_speedup_smoke(tmp_path):
+    scale = _scale()
+    cores = _usable_cores()
+    enforce_parallel = cores >= POOL_WORKERS
+    record = {
+        "scale": scale,
+        "usable_cores": cores,
+        "pool_workers": POOL_WORKERS,
+        "parallel_floors_enforced": enforce_parallel,
+        "min_parallel_speedup": MIN_PARALLEL_SPEEDUP,
+        "min_load_speedup": MIN_LOAD_SPEEDUP,
+    }
+
+    # ------------------------------------------------------------------
+    # scaled fig15-style range workload: 250k objects, 10k queries
+    # ------------------------------------------------------------------
+    n_objects = int(250_000 * scale)
+    n_queries = int(10_000 * scale)
+    objects = _uniform_objects(n_objects)
+
+    rebuild_seconds = _best_of(
+        lambda: build_columnar_str(objects, max_entries=RANGE_MAX_ENTRIES), 2
+    )
+    snapshot = build_columnar_str(objects, max_entries=RANGE_MAX_ENTRIES)
+    snapshot_dir = tmp_path / "range-snapshot"
+    save_start = time.perf_counter()
+    save_snapshot(snapshot, snapshot_dir)
+    save_seconds = time.perf_counter() - save_start
+    load_seconds = _best_of(lambda: load_snapshot(snapshot_dir, mmap=True), 3)
+    load_speedup = rebuild_seconds / load_seconds
+
+    workload = RangeQueryWorkload.from_objects(objects, target_results=10, seed=7)
+    queries = workload.query_list(n_queries, seed=7)
+
+    serial_stats = IOStats()
+    serial_results = range_query_batch(snapshot, queries, stats=serial_stats)
+    serial_range_seconds = _best_of(
+        lambda: range_query_batch(snapshot, queries), 2
+    )
+    with ParallelExecutor(
+        snapshot_dir, workers=POOL_WORKERS, task_timeout=600.0
+    ) as executor:
+        pool_stats = IOStats()
+        pool_results = executor.range_query_batch(queries, stats=pool_stats)
+        # Exactness first: the pool must reproduce the serial engine.
+        assert pool_stats == serial_stats
+        assert [[o.oid for o in r] for r in pool_results] == [
+            [o.oid for o in r] for r in serial_results
+        ]
+        pool_range_seconds = _best_of(
+            lambda: executor.range_query_batch(queries), 2
+        )
+    range_speedup = serial_range_seconds / pool_range_seconds
+
+    record.update(
+        {
+            "range_objects": n_objects,
+            "range_queries": n_queries,
+            "rebuild_seconds": round(rebuild_seconds, 4),
+            "snapshot_save_seconds": round(save_seconds, 4),
+            "snapshot_load_seconds": round(load_seconds, 5),
+            "load_speedup_vs_rebuild": round(load_speedup, 1),
+            "range_serial_seconds": round(serial_range_seconds, 4),
+            "range_pool_seconds": round(pool_range_seconds, 4),
+            "range_parallel_speedup": round(range_speedup, 2),
+            "range_serial_qps": round(n_queries / serial_range_seconds, 1),
+            "range_pool_qps": round(n_queries / pool_range_seconds, 1),
+        }
+    )
+
+    # ------------------------------------------------------------------
+    # §V join workload: 6k x 6k stairline-clipped STR neurites
+    # ------------------------------------------------------------------
+    n_join = int(6_000 * scale)
+    extent = 500.0
+    axons = NeuriteGenerator(kind="axon", extent=extent).generate(n_join, seed=7)
+    dendrites = NeuriteGenerator(kind="dendrite", extent=extent).generate(
+        n_join, seed=8
+    )
+    axon_snapshot = ColumnarIndex.from_tree(
+        ClippedRTree.wrap(
+            build_rtree("str", axons, max_entries=JOIN_MAX_ENTRIES),
+            method="stairline",
+            engine="vectorized",
+        )
+    )
+    dendrite_snapshot = ColumnarIndex.from_tree(
+        ClippedRTree.wrap(
+            build_rtree("str", dendrites, max_entries=JOIN_MAX_ENTRIES),
+            method="stairline",
+            engine="vectorized",
+        )
+    )
+    axon_dir = tmp_path / "axons"
+    dendrite_dir = tmp_path / "dendrites"
+    save_snapshot(axon_snapshot, axon_dir)
+    save_snapshot(dendrite_snapshot, dendrite_dir)
+
+    serial_inlj = inlj_batch(dendrites, axon_snapshot, collect_pairs=False)
+    serial_stt = stt_batch(axon_snapshot, dendrite_snapshot, collect_pairs=False)
+    inlj_serial_seconds = _best_of(
+        lambda: inlj_batch(dendrites, axon_snapshot, collect_pairs=False), 3
+    )
+    stt_serial_seconds = _best_of(
+        lambda: stt_batch(axon_snapshot, dendrite_snapshot, collect_pairs=False), 3
+    )
+
+    with ParallelExecutor(axon_dir, workers=POOL_WORKERS) as executor:
+        pool_inlj = executor.inlj_batch(dendrites, collect_pairs=False)
+        assert pool_inlj.pair_count == serial_inlj.pair_count
+        assert pool_inlj.inner_stats.leaf_accesses == serial_inlj.inner_stats.leaf_accesses
+        inlj_pool_seconds = _best_of(
+            lambda: executor.inlj_batch(dendrites, collect_pairs=False), 3
+        )
+        pool_stt = executor.stt_batch(str(dendrite_dir), collect_pairs=False)
+        assert pool_stt.pair_count == serial_stt.pair_count
+        assert pool_stt.total_leaf_accesses == serial_stt.total_leaf_accesses
+        stt_pool_seconds = _best_of(
+            lambda: executor.stt_batch(str(dendrite_dir), collect_pairs=False), 3
+        )
+    inlj_speedup = inlj_serial_seconds / inlj_pool_seconds
+    stt_speedup = stt_serial_seconds / stt_pool_seconds
+
+    record.update(
+        {
+            "join_objects_per_side": n_join,
+            "join_pairs": serial_inlj.pair_count,
+            "inlj_serial_seconds": round(inlj_serial_seconds, 4),
+            "inlj_pool_seconds": round(inlj_pool_seconds, 4),
+            "inlj_parallel_speedup": round(inlj_speedup, 2),
+            "stt_serial_seconds": round(stt_serial_seconds, 4),
+            "stt_pool_seconds": round(stt_pool_seconds, 4),
+            "stt_parallel_speedup": round(stt_speedup, 2),
+        }
+    )
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    assert load_speedup >= MIN_LOAD_SPEEDUP, (
+        f"mmap snapshot load only {load_speedup:.1f}x faster than rebuilding "
+        f"{n_objects} objects (floor {MIN_LOAD_SPEEDUP}x); see {BENCH_PATH}"
+    )
+    if enforce_parallel:
+        assert range_speedup >= MIN_PARALLEL_SPEEDUP, (
+            f"pooled range batch only {range_speedup:.1f}x faster than "
+            f"single-worker (floor {MIN_PARALLEL_SPEEDUP}x on {cores} cores); "
+            f"see {BENCH_PATH}"
+        )
+        assert inlj_speedup >= MIN_PARALLEL_SPEEDUP, (
+            f"pooled INLJ only {inlj_speedup:.1f}x faster than single-worker "
+            f"(floor {MIN_PARALLEL_SPEEDUP}x on {cores} cores); see {BENCH_PATH}"
+        )

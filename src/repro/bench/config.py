@@ -69,6 +69,10 @@ class BenchConfig:
     #: dirty-node-only re-clipping, "refreeze" rebuilds the snapshot on
     #: every write (identical query results, much slower)
     update_engine: str = "delta"
+    #: worker processes for the columnar engines (1 = in-process serial;
+    #: >1 shards batches/joins across a pool over a shared mmap snapshot,
+    #: see repro.engine.parallel)
+    workers: int = 1
     #: dataset size used by the Figure 15 scalability experiment
     scalability_size: int = 5000
     #: objects per side of the spatial-join experiment

@@ -27,15 +27,21 @@ def run(
     Runs through the engine selected by ``context.config.engine`` — the
     columnar engine reports the same leaf-access counts as the scalar
     traversal, so the reproduced figure is identical either way.
+    ``context.config.workers`` > 1 additionally shards each batch across
+    a process pool over a shared mmap snapshot (columnar engine only),
+    again with identical counts.
     """
     engine = context.config.engine
+    workers = context.config.workers if engine == "columnar" else 1
     rows: List[Dict] = []
     for dataset in datasets:
         for profile in STANDARD_PROFILES:
             queries = context.queries(dataset, profile.target_results)
             for variant in context.config.variants:
                 tree = context.tree(dataset, variant)
-                base = execute_workload(context.query_index(tree), queries, engine=engine)
+                base = execute_workload(
+                    context.query_index(tree), queries, engine=engine, workers=workers
+                )
                 row = {
                     "dataset": dataset,
                     "profile": profile.name,
@@ -45,7 +51,9 @@ def run(
                 }
                 for method in methods:
                     clipped = context.clipped(dataset, variant, method=method)
-                    result = execute_workload(context.query_index(clipped), queries, engine=engine)
+                    result = execute_workload(
+                        context.query_index(clipped), queries, engine=engine, workers=workers
+                    )
                     relative = (
                         100.0 * result.avg_leaf_accesses / base.avg_leaf_accesses
                         if base.avg_leaf_accesses > 0

@@ -53,6 +53,7 @@ def run(
         clipped_dendrites.clip_all(engine=config.build_engine)
 
         engine = config.join_engine
+        workers = config.workers if engine == "columnar" else 1
         if engine == "columnar":
             # Freeze each index once (cached per structure version by the
             # harness); execute_join passes snapshots straight through.
@@ -61,18 +62,20 @@ def run(
             clipped_axons = context.snapshot(clipped_axons)
             clipped_dendrites = context.snapshot(clipped_dendrites)
         inlj_plain = execute_join(
-            dendrites, indexed_axons, algorithm="inlj", engine=engine, collect_pairs=False
+            dendrites, indexed_axons, algorithm="inlj", engine=engine,
+            collect_pairs=False, workers=workers,
         )
         inlj_clip = execute_join(
-            dendrites, clipped_axons, algorithm="inlj", engine=engine, collect_pairs=False
+            dendrites, clipped_axons, algorithm="inlj", engine=engine,
+            collect_pairs=False, workers=workers,
         )
         stt_plain = execute_join(
             indexed_axons, indexed_dendrites, algorithm="stt", engine=engine,
-            collect_pairs=False,
+            collect_pairs=False, workers=workers,
         )
         stt_clip = execute_join(
             clipped_axons, clipped_dendrites, algorithm="stt", engine=engine,
-            collect_pairs=False,
+            collect_pairs=False, workers=workers,
         )
         # Every strategy enumerates the same join, whatever the engine.
         assert (

@@ -6,13 +6,18 @@ Gives quick access to the reproduction without writing any code:
 * ``run <experiment>`` — run one experiment and print its table(s);
 * ``datasets`` — list the available dataset generators;
 * ``build-info <dataset> <variant>`` — build one index and print tree
-  statistics, dead space, and clipping summaries.
+  statistics, dead space, and clipping summaries;
+* ``snapshot save <dir>`` / ``snapshot load <dir>`` — persist a frozen
+  columnar snapshot as mmap-able ``.npy`` files and open it back.
 
 Examples::
 
     python -m repro list-experiments
     python -m repro run fig11 --queries 20 --size 1000
+    python -m repro run fig15 --engine columnar --workers 4
     python -m repro build-info axo03 rstar --size 2000
+    python -m repro snapshot save /tmp/snap --dataset axo03 --variant rstar --clip stairline
+    python -m repro snapshot load /tmp/snap --queries 50 --workers 2
 """
 
 from __future__ import annotations
@@ -123,6 +128,8 @@ def _make_config(args: argparse.Namespace) -> BenchConfig:
         config.join_engine = args.join_engine
     if getattr(args, "update_engine", None) is not None:
         config.update_engine = args.update_engine
+    if getattr(args, "workers", None) is not None:
+        config.workers = args.workers
     return config
 
 
@@ -176,6 +183,80 @@ def _cmd_build_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_snapshot_save(args: argparse.Namespace) -> int:
+    if args.dataset not in DATASET_NAMES:
+        print(f"unknown dataset {args.dataset!r}", file=sys.stderr)
+        return 2
+    if args.variant not in VARIANT_NAMES:
+        print(f"unknown variant {args.variant!r}; known: {VARIANT_NAMES}", file=sys.stderr)
+        return 2
+    import time
+
+    from repro.engine import ColumnarIndex, save_snapshot
+
+    config = _make_config(args)
+    objects = dataset_info(args.dataset).generate(config.size_of(args.dataset), seed=config.seed)
+    index = build_rtree(args.variant, objects, max_entries=config.max_entries)
+    if args.clip != "none":
+        index = ClippedRTree.wrap(index, method=args.clip, engine=config.build_engine)
+    start = time.perf_counter()
+    snapshot = ColumnarIndex.from_tree(index)
+    freeze_s = time.perf_counter() - start
+    start = time.perf_counter()
+    save_snapshot(snapshot, args.directory)
+    save_s = time.perf_counter() - start
+    from repro.engine.snapshot_io import read_manifest
+
+    manifest = read_manifest(args.directory)
+    print(
+        f"saved {args.variant}/{args.dataset} ({args.clip} clip) to {args.directory}: "
+        f"{len(snapshot.objects)} objects, {len(snapshot.is_leaf)} nodes, d={snapshot.dims}"
+    )
+    print(f"freeze {freeze_s * 1000:.1f} ms, save {save_s * 1000:.1f} ms, "
+          f"{len(manifest['arrays'])} arrays (format v{manifest['format_version']})")
+    return 0
+
+
+def _cmd_snapshot_load(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.engine import load_snapshot
+    from repro.engine.snapshot_io import SnapshotFormatError, read_manifest
+
+    try:
+        manifest = read_manifest(args.directory)
+    except SnapshotFormatError as exc:
+        print(f"not a snapshot: {exc}", file=sys.stderr)
+        return 2
+    start = time.perf_counter()
+    snapshot = load_snapshot(args.directory, mmap=not args.no_mmap)
+    load_s = time.perf_counter() - start
+    mode = "copied into RAM" if args.no_mmap else "zero-copy mmap"
+    print(
+        f"loaded {args.directory} ({mode}) in {load_s * 1000:.2f} ms: "
+        f"{len(snapshot.objects)} objects, {len(snapshot.is_leaf)} nodes, "
+        f"d={snapshot.dims}, format v{manifest['format_version']}"
+    )
+    if args.queries:
+        from repro.query.range_query import execute_workload
+        from repro.query.workload import RangeQueryWorkload
+
+        workload = RangeQueryWorkload.from_objects(
+            list(snapshot.objects), target_results=10, seed=7
+        )
+        queries = workload.query_list(args.queries, seed=7)
+        workers = args.workers or 1
+        start = time.perf_counter()
+        result = execute_workload(snapshot, queries, engine="columnar", workers=workers)
+        query_s = time.perf_counter() - start
+        print(
+            f"{result.queries} sanity queries (workers={workers}) in "
+            f"{query_s * 1000:.1f} ms: {result.avg_results:.1f} results/query, "
+            f"{result.avg_leaf_accesses:.1f} leaf accesses/query"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -206,12 +287,57 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="update engine for the updates experiment (delta = overlay + compaction)",
     )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the columnar engines (>1 shards batches "
+        "across a pool over a shared mmap snapshot)",
+    )
 
     info_parser = subparsers.add_parser("build-info", help="build one index and summarise it")
     info_parser.add_argument("dataset", help="dataset name, e.g. axo03")
     info_parser.add_argument("variant", help="R-tree variant, e.g. rstar")
 
-    for sub in (run_parser, info_parser):
+    snap_parser = subparsers.add_parser(
+        "snapshot", help="persist / open frozen columnar snapshots"
+    )
+    snap_sub = snap_parser.add_subparsers(dest="snapshot_command", required=True)
+    save_parser = snap_sub.add_parser(
+        "save", help="build one index, freeze it, and save it as .npy files"
+    )
+    save_parser.add_argument("directory", help="target directory for the snapshot files")
+    save_parser.add_argument("--dataset", default="axo03", help="dataset name (default axo03)")
+    save_parser.add_argument("--variant", default="rstar", help="R-tree variant (default rstar)")
+    save_parser.add_argument(
+        "--clip",
+        choices=("none", "skyline", "stairline"),
+        default="none",
+        help="clip the tree before freezing (default: unclipped)",
+    )
+    load_parser = snap_sub.add_parser(
+        "load", help="open a saved snapshot and print a summary"
+    )
+    load_parser.add_argument("directory", help="directory holding the snapshot files")
+    load_parser.add_argument(
+        "--no-mmap",
+        action="store_true",
+        help="copy arrays into RAM instead of the default zero-copy mmap",
+    )
+    load_parser.add_argument(
+        "--queries",
+        type=int,
+        default=0,
+        help="run N calibrated sanity range queries against the loaded snapshot",
+    )
+    load_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the sanity queries (>1 uses the shared snapshot)",
+    )
+
+    for sub in (run_parser, info_parser, save_parser):
         sub.add_argument("--size", type=int, default=None, help="objects per dataset")
         sub.add_argument("--queries", type=int, default=None, help="queries per profile")
         sub.add_argument("--max-entries", type=int, default=None, help="node capacity")
@@ -232,6 +358,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "datasets": _cmd_datasets,
         "run": _cmd_run,
         "build-info": _cmd_build_info,
+        "snapshot": lambda a: (
+            _cmd_snapshot_save(a) if a.snapshot_command == "save" else _cmd_snapshot_load(a)
+        ),
     }
     return handlers[args.command](args)
 

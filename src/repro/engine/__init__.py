@@ -26,6 +26,15 @@ I/O accounting — the path behind
 ``execute_join(..., engine="columnar")``, the ``--join-engine`` CLI
 flag, and ``BenchConfig.join_engine``.
 
+Persistence + parallelism (the scale-out twin):
+:func:`save_snapshot`/:func:`load_snapshot` persist a snapshot as
+memory-mappable ``.npy`` files (near-instant zero-copy loads shared
+across processes) and :class:`ParallelExecutor` shards batch queries
+and joins across a worker pool over such a shared snapshot — the path
+behind ``execute_workload(..., workers=N)`` /
+``execute_join(..., workers=N)``, the ``--workers`` CLI flag, and the
+``repro snapshot save/load`` subcommands.
+
 See :mod:`repro.engine.columnar` for the snapshot layout,
 :mod:`repro.engine.kernels` / :mod:`repro.engine.clip_kernels` for the
 scalar↔array predicate correspondences, and
@@ -45,22 +54,35 @@ from repro.engine.delta import DeltaOverlay, SnapshotManager, overlay_join
 from repro.engine.executor import knn_batch, range_query_batch
 from repro.engine.incremental_clip import reclip_nodes, reclip_nodes_for_results
 from repro.engine.join_exec import inlj_batch, stt_batch
+from repro.engine.parallel import ParallelExecutor, default_workers
+from repro.engine.snapshot_io import (
+    FORMAT_VERSION,
+    SnapshotFormatError,
+    load_snapshot,
+    save_snapshot,
+)
 
 __all__ = [
+    "FORMAT_VERSION",
     "STALE_POLICIES",
     "ColumnarIndex",
     "DeltaOverlay",
+    "ParallelExecutor",
     "SnapshotManager",
+    "SnapshotFormatError",
     "StaleSnapshotError",
     "build_columnar_str",
     "bulk_clip",
     "clip_nodes_batch",
+    "default_workers",
     "inlj_batch",
     "knn_batch",
+    "load_snapshot",
     "overlay_join",
     "range_query_batch",
     "reclip_nodes",
     "reclip_nodes_for_results",
     "resolve_stale",
+    "save_snapshot",
     "stt_batch",
 ]

@@ -79,6 +79,19 @@ def resolve_stale(snapshot: "ColumnarIndex", policy: str = "refresh") -> "Column
     return snapshot
 
 
+def _pinned(array: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """``array`` as a C-contiguous array of exactly ``dtype``.
+
+    Snapshot arrays have one canonical layout — ``int64``/``float64``/
+    ``bool_``, C order — so that on-disk round trips
+    (:mod:`repro.engine.snapshot_io`) are bit-exact across platforms.  An
+    array that already complies (in particular a read-only ``np.memmap``
+    view of a snapshot file) passes through untouched; anything else is
+    copied into shape here, never silently downstream.
+    """
+    return np.ascontiguousarray(array, dtype=dtype)
+
+
 class ColumnarIndex:
     """An immutable, array-backed snapshot of one R-tree (+ clip points).
 
@@ -113,17 +126,17 @@ class ColumnarIndex:
     ):
         self.source = source
         self.dims = dims
-        self.is_leaf = is_leaf
-        self.entry_start = entry_start
-        self.entry_count = entry_count
-        self.node_ids = node_ids
-        self.entry_lows = entry_lows
-        self.entry_highs = entry_highs
-        self.entry_child = entry_child
-        self.clip_start = clip_start
-        self.clip_count = clip_count
-        self.clip_coords = clip_coords
-        self.clip_is_high = clip_is_high
+        self.is_leaf = _pinned(is_leaf, np.bool_)
+        self.entry_start = _pinned(entry_start, np.int64)
+        self.entry_count = _pinned(entry_count, np.int64)
+        self.node_ids = _pinned(node_ids, np.int64)
+        self.entry_lows = _pinned(entry_lows, np.float64)
+        self.entry_highs = _pinned(entry_highs, np.float64)
+        self.entry_child = _pinned(entry_child, np.int64)
+        self.clip_start = _pinned(clip_start, np.int64)
+        self.clip_count = _pinned(clip_count, np.int64)
+        self.clip_coords = _pinned(clip_coords, np.float64)
+        self.clip_is_high = _pinned(clip_is_high, np.bool_)
         self.objects = objects
         self.source_version = source_version
         n_nodes = len(is_leaf)
@@ -131,8 +144,8 @@ class ColumnarIndex:
             node_clip_start = np.zeros(n_nodes, dtype=np.int64)
         if node_clip_count is None:
             node_clip_count = np.zeros(n_nodes, dtype=np.int64)
-        self.node_clip_start = node_clip_start
-        self.node_clip_count = node_clip_count
+        self.node_clip_start = _pinned(node_clip_start, np.int64)
+        self.node_clip_count = _pinned(node_clip_count, np.int64)
         # Lazily derived per-slot geometry (cached; the snapshot is immutable).
         self._node_lows: Optional[np.ndarray] = None
         self._node_highs: Optional[np.ndarray] = None
@@ -235,7 +248,7 @@ class ColumnarIndex:
             else np.empty((0, dims), dtype=np.float64)
         )
         clip_is_high = (
-            masks_to_bool(np.array(masks), dims)
+            masks_to_bool(np.array(masks, dtype=np.int64), dims)
             if masks
             else np.empty((0, dims), dtype=bool)
         )
@@ -335,6 +348,31 @@ class ColumnarIndex:
                     levels[slot] = levels[entry_child[entry_start[slot]]] + 1
             self._node_levels = levels
         return self._node_levels
+
+    def precompute_derived(self) -> None:
+        """Force the lazy :meth:`node_bounds` / :meth:`node_levels` caches.
+
+        The caches are per-snapshot-object: a worker process that opens
+        its own view of the snapshot would otherwise re-derive them on
+        first use (``node_levels`` is a Python sweep over every slot).
+        Call this once before fanning out — ``snapshot_io.save_snapshot``
+        does, persisting the caches so loaded snapshots never recompute.
+        """
+        self.node_bounds()
+        self.node_levels()
+
+    def seed_derived(
+        self, node_lows: np.ndarray, node_highs: np.ndarray, node_levels: np.ndarray
+    ) -> None:
+        """Install precomputed :meth:`node_bounds` / :meth:`node_levels` caches.
+
+        Used by :func:`repro.engine.snapshot_io.load_snapshot` to hand a
+        loaded snapshot the caches persisted at save time (as mmap views,
+        zero-copy).
+        """
+        self._node_lows = _pinned(node_lows, np.float64)
+        self._node_highs = _pinned(node_highs, np.float64)
+        self._node_levels = _pinned(node_levels, np.int64)
 
     def node_count(self) -> int:
         """Number of snapshot node slots."""

@@ -162,17 +162,27 @@ def range_query_batch(
     cold-disk experiment uses it to charge a buffer pool.
     """
     rects = list(rects)
-    results: List[List[SpatialObject]] = [[] for _ in rects]
     if not rects:
-        return results
+        return []
     q_lows, q_highs = _query_arrays(index, rects)
     all_q, all_obj = gather_range_hits(
         index, q_lows, q_highs, stats=stats, access_hook=access_hook
     )
+    return materialize_range_hits(index, len(rects), all_q, all_obj)
 
-    # Materialise the result lists in one grouped pass: a stable sort by
-    # query keeps the BFS discovery order within each query, and objects
-    # are resolved per contiguous slice rather than per hit.
+
+def materialize_range_hits(
+    index: ColumnarIndex, n_queries: int, all_q: np.ndarray, all_obj: np.ndarray
+) -> List[List[SpatialObject]]:
+    """Group flat ``(query, object)`` hit arrays into per-query result lists.
+
+    One grouped pass: a stable sort by query keeps the discovery order
+    within each query, and objects are resolved per contiguous slice
+    rather than per hit.  Shared by :func:`range_query_batch` and the
+    multi-process executor (:mod:`repro.engine.parallel`), whose merged
+    shard hits materialise identically.
+    """
+    results: List[List[SpatialObject]] = [[] for _ in range(n_queries)]
     if len(all_q):
         order = np.argsort(all_q, kind="stable")
         sorted_q = all_q[order]
@@ -210,6 +220,23 @@ def _knn_single(
     k: int,
     stats: Optional[IOStats],
 ) -> List[Tuple[float, SpatialObject]]:
+    return [
+        (dist, index.objects[obj_idx])
+        for dist, obj_idx in knn_single_indices(index, point, k, stats)
+    ]
+
+
+def knn_single_indices(
+    index: ColumnarIndex,
+    point: Sequence[float],
+    k: int,
+    stats: Optional[IOStats],
+) -> List[Tuple[float, int]]:
+    """Best-first kNN returning ``(squared distance, object index)`` pairs.
+
+    The index-level core of :func:`knn_batch`; the multi-process executor
+    runs this in workers and materialises objects in the coordinator.
+    """
     point = np.asarray(point, dtype=np.float64)
     if point.shape != (index.dims,):
         raise ValueError(f"point has shape {point.shape}, snapshot expects ({index.dims},)")
@@ -217,12 +244,12 @@ def _knn_single(
     heap: List[Tuple[float, int, int, bool]] = [
         (0.0, next(counter), ColumnarIndex.ROOT_SLOT, True)
     ]
-    results: List[Tuple[float, SpatialObject]] = []
+    results: List[Tuple[float, int]] = []
 
     while heap and len(results) < k:
         dist, _, item, is_node = heapq.heappop(heap)
         if not is_node:
-            results.append((dist, index.objects[item]))
+            results.append((dist, item))
             continue
         slot = item
         leaf = bool(index.is_leaf[slot])

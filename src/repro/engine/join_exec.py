@@ -31,7 +31,7 @@ dataset × clipped/plain.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -118,11 +118,13 @@ class _PairLedger:
     def record_emissions(self, pair_ids: np.ndarray, counts: np.ndarray) -> None:
         self.emissions.append((pair_ids, counts))
 
-    def settle(self, result: JoinResult) -> int:
+    def settle(self, result: JoinResult) -> np.ndarray:
         """Propagate emissions up the pair tree and fill ``IOStats``.
 
-        Returns the total number of result pairs (the root pair's settled
-        emission count).
+        Returns the per-pair settled emission counts; entry 0 (the root
+        pair, when pairs exist) is the total number of result pairs, and
+        the leading entries of a sharded run (:func:`stt_shard`) are the
+        per-shipped-pair subtree totals its parent folds back in.
         """
         emitted = np.zeros(self.next_id, dtype=np.int64)
         for pair_ids, counts in self.emissions:
@@ -145,7 +147,7 @@ class _PairLedger:
             stats.contributing_leaf_accesses += int(
                 (leaf_flags & (emitted[pair_ids] > 0)).sum()
             )
-        return int(emitted[0]) if self.next_id else 0
+        return emitted
 
 
 def _clips_veto_pair(
@@ -174,29 +176,12 @@ def _clips_veto_pair(
     return segment_any(pruned, owners, n_rows)
 
 
-def stt_batch(
-    left: ColumnarIndex, right: ColumnarIndex, collect_pairs: bool = True
-) -> JoinResult:
-    """Synchronised Tree Traversal join of two snapshots.
-
-    Equivalent to :func:`repro.join.stt.synchronized_tree_traversal_join`
-    run on the snapshots' sources: identical pairs, ``pair_count``,
-    ``outer_stats`` and ``inner_stats``.
-    """
-    if left.dims != right.dims:
-        raise ValueError(f"snapshot dims differ: {left.dims} vs {right.dims}")
-    result = JoinResult()
+def _stt_roots_pass(left: ColumnarIndex, right: ColumnarIndex) -> bool:
+    """The scalar ``_pair_passes`` test applied to the two root nodes."""
     root = ColumnarIndex.ROOT_SLOT
-    if left.entry_count[root] == 0 or right.entry_count[root] == 0:
-        result.set_pair_count(0, collected=collect_pairs)
-        return result
-
+    root_arr = np.array([root], dtype=np.int64)
     l_lows, l_highs = left.node_bounds()
     r_lows, r_highs = right.node_bounds()
-    l_levels = left.node_levels()
-    r_levels = right.node_levels()
-
-    root_arr = np.array([root], dtype=np.int64)
     roots_pass = bool(
         intersect_mask(l_lows[root_arr], l_highs[root_arr], r_lows[root], r_highs[root])[0]
     )
@@ -220,67 +205,110 @@ def stt_batch(
                 l_highs[root_arr],
             )[0]
         )
-    if not roots_pass:
-        result.set_pair_count(0, collected=collect_pairs)
-        return result
+    return roots_pass
 
-    ledger = _PairLedger()
-    root_pair = ledger.add_pairs(np.array([-1], dtype=np.int64))
-    ledger.record_accesses(True, root_pair, left.is_leaf[root_arr])
-    ledger.record_accesses(False, root_pair, right.is_leaf[root_arr])
 
-    frontier_a = root_arr
-    frontier_b = root_arr.copy()
-    frontier_pid = root_pair
-    collected: List[Tuple[np.ndarray, np.ndarray]] = []
+class _SttFrontier:
+    """One round's pending node pairs: slots, ledger ids, shard-root tags.
 
-    def descend(
-        desc: ColumnarIndex,
-        other: ColumnarIndex,
-        nodes: np.ndarray,
-        partners: np.ndarray,
-        pids: np.ndarray,
-        other_lows: np.ndarray,
-        other_highs: np.ndarray,
-        outer_side: bool,
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Expand one side's entries against the partner nodes of the other."""
-        flat, owners = expand_segments(desc.entry_start[nodes], desc.entry_count[nodes])
-        partner = partners[owners]
-        parent = pids[owners]
-        keep = intersect_mask(
-            desc.entry_lows[flat],
-            desc.entry_highs[flat],
+    ``roots`` carries, for every pending pair, the index of the starting
+    pair it descends from — always 0 for a whole-join run, the shipped
+    pair's position for a sharded run (:func:`stt_shard`), where the
+    parent process uses it to merge per-shard hits deterministically.
+    """
+
+    __slots__ = ("a", "b", "pid", "root")
+
+    def __init__(self, a: np.ndarray, b: np.ndarray, pid: np.ndarray, root: np.ndarray):
+        self.a = a
+        self.b = b
+        self.pid = pid
+        self.root = root
+
+    def __len__(self) -> int:
+        return len(self.a)
+
+
+def _stt_descend(
+    ledger: _PairLedger,
+    desc: ColumnarIndex,
+    other: ColumnarIndex,
+    nodes: np.ndarray,
+    partners: np.ndarray,
+    pids: np.ndarray,
+    roots: np.ndarray,
+    other_lows: np.ndarray,
+    other_highs: np.ndarray,
+    outer_side: bool,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Expand one side's entries against the partner nodes of the other."""
+    flat, owners = expand_segments(desc.entry_start[nodes], desc.entry_count[nodes])
+    partner = partners[owners]
+    parent = pids[owners]
+    root = roots[owners]
+    keep = intersect_mask(
+        desc.entry_lows[flat],
+        desc.entry_highs[flat],
+        other_lows[partner],
+        other_highs[partner],
+    )
+    flat, partner, parent, root = flat[keep], partner[keep], parent[keep], root[keep]
+    if desc.has_clips and len(flat):
+        # Candidate child's own clip points vs the partner's MBB.
+        veto = _clips_veto_pair(
+            desc,
+            desc.clip_start[flat],
+            desc.clip_count[flat],
             other_lows[partner],
             other_highs[partner],
         )
-        flat, partner, parent = flat[keep], partner[keep], parent[keep]
-        if desc.has_clips and len(flat):
-            # Candidate child's own clip points vs the partner's MBB.
-            veto = _clips_veto_pair(
-                desc,
-                desc.clip_start[flat],
-                desc.clip_count[flat],
-                other_lows[partner],
-                other_highs[partner],
-            )
-            flat, partner, parent = flat[~veto], partner[~veto], parent[~veto]
-        if other.has_clips and len(flat):
-            # Partner node's clip points vs the candidate child's rectangle.
-            veto = _clips_veto_pair(
-                other,
-                other.node_clip_start[partner],
-                other.node_clip_count[partner],
-                desc.entry_lows[flat],
-                desc.entry_highs[flat],
-            )
-            flat, partner, parent = flat[~veto], partner[~veto], parent[~veto]
-        children = desc.entry_child[flat]
-        new_pids = ledger.add_pairs(parent)
-        ledger.record_accesses(outer_side, new_pids, desc.is_leaf[children])
-        return children, partner, new_pids
+        keep = ~veto
+        flat, partner, parent, root = flat[keep], partner[keep], parent[keep], root[keep]
+    if other.has_clips and len(flat):
+        # Partner node's clip points vs the candidate child's rectangle.
+        veto = _clips_veto_pair(
+            other,
+            other.node_clip_start[partner],
+            other.node_clip_count[partner],
+            desc.entry_lows[flat],
+            desc.entry_highs[flat],
+        )
+        keep = ~veto
+        flat, partner, parent, root = flat[keep], partner[keep], parent[keep], root[keep]
+    children = desc.entry_child[flat]
+    new_pids = ledger.add_pairs(parent)
+    ledger.record_accesses(outer_side, new_pids, desc.is_leaf[children])
+    return children, partner, new_pids, root
 
-    while len(frontier_a):
+
+def _stt_rounds(
+    left: ColumnarIndex,
+    right: ColumnarIndex,
+    frontier: _SttFrontier,
+    ledger: _PairLedger,
+    collected: List[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+    collect_pairs: bool,
+    stop_len: Optional[int] = None,
+) -> _SttFrontier:
+    """Run the level-synchronous pair rounds until done (or big enough).
+
+    Each iteration joins the frontier's leaf×leaf pairs and descends the
+    deeper side of the rest, exactly as before the sharding refactor.
+    With ``stop_len``, the loop instead returns as soon as the frontier
+    holds at least that many pairs — the parent process ships the
+    returned frontier to the worker pool.  ``collected`` receives
+    ``(left_obj_idx, right_obj_idx, root_tag)`` triples per round.
+    """
+    l_lows, l_highs = left.node_bounds()
+    r_lows, r_highs = right.node_bounds()
+    l_levels = left.node_levels()
+    r_levels = right.node_levels()
+
+    while len(frontier.a):
+        if stop_len is not None and len(frontier.a) >= stop_len:
+            break
+        frontier_a, frontier_b = frontier.a, frontier.b
+        frontier_pid, frontier_root = frontier.pid, frontier.root
         a_leaf = left.is_leaf[frontier_a]
         b_leaf = right.is_leaf[frontier_b]
 
@@ -306,15 +334,20 @@ def stt_batch(
             if collect_pairs and hit.any():
                 rows = np.nonzero(hit)[0]
                 collected.append(
-                    (left.entry_child[ai[rows]], right.entry_child[bi[rows]])
+                    (
+                        left.entry_child[ai[rows]],
+                        right.entry_child[bi[rows]],
+                        frontier_root[both][owners[rows]],
+                    )
                 )
 
         rest = ~both
         rest_a = frontier_a[rest]
         rest_b = frontier_b[rest]
         rest_pid = frontier_pid[rest]
+        rest_root = frontier_root[rest]
         if not len(rest_a):
-            break
+            return _SttFrontier(*(np.empty(0, dtype=np.int64) for _ in range(4)))
         go_left = ~left.is_leaf[rest_a] & (
             right.is_leaf[rest_b] | (l_levels[rest_a] >= r_levels[rest_b])
         )
@@ -322,13 +355,16 @@ def stt_batch(
         next_a: List[np.ndarray] = []
         next_b: List[np.ndarray] = []
         next_pid: List[np.ndarray] = []
+        next_root: List[np.ndarray] = []
         if go_left.any():
-            children, partner, pids = descend(
+            children, partner, pids, roots = _stt_descend(
+                ledger,
                 left,
                 right,
                 rest_a[go_left],
                 rest_b[go_left],
                 rest_pid[go_left],
+                rest_root[go_left],
                 r_lows,
                 r_highs,
                 outer_side=True,
@@ -336,14 +372,17 @@ def stt_batch(
             next_a.append(children)
             next_b.append(partner)
             next_pid.append(pids)
+            next_root.append(roots)
         go_right = ~go_left
         if go_right.any():
-            children, partner, pids = descend(
+            children, partner, pids, roots = _stt_descend(
+                ledger,
                 right,
                 left,
                 rest_b[go_right],
                 rest_a[go_right],
                 rest_pid[go_right],
+                rest_root[go_right],
                 l_lows,
                 l_highs,
                 outer_side=False,
@@ -351,20 +390,135 @@ def stt_batch(
             next_a.append(partner)
             next_b.append(children)
             next_pid.append(pids)
+            next_root.append(roots)
 
-        frontier_a = np.concatenate(next_a) if next_a else np.empty(0, dtype=np.int64)
-        frontier_b = np.concatenate(next_b) if next_b else np.empty(0, dtype=np.int64)
-        frontier_pid = (
-            np.concatenate(next_pid) if next_pid else np.empty(0, dtype=np.int64)
+        frontier = _SttFrontier(
+            np.concatenate(next_a) if next_a else np.empty(0, dtype=np.int64),
+            np.concatenate(next_b) if next_b else np.empty(0, dtype=np.int64),
+            np.concatenate(next_pid) if next_pid else np.empty(0, dtype=np.int64),
+            np.concatenate(next_root) if next_root else np.empty(0, dtype=np.int64),
+        )
+    return frontier
+
+
+def stt_root_frontier(
+    left: ColumnarIndex, right: ColumnarIndex, ledger: _PairLedger
+) -> Optional[_SttFrontier]:
+    """The root-pair frontier, with its accesses recorded — or ``None``.
+
+    ``None`` means the join is empty before it starts: one side has no
+    entries, or the root pair fails the (clipped) intersection test, in
+    which case — matching the scalar STT — nothing is accessed at all.
+    """
+    if left.dims != right.dims:
+        raise ValueError(f"snapshot dims differ: {left.dims} vs {right.dims}")
+    root = ColumnarIndex.ROOT_SLOT
+    if left.entry_count[root] == 0 or right.entry_count[root] == 0:
+        return None
+    if not _stt_roots_pass(left, right):
+        return None
+    root_arr = np.array([root], dtype=np.int64)
+    root_pair = ledger.add_pairs(np.array([-1], dtype=np.int64))
+    ledger.record_accesses(True, root_pair, left.is_leaf[root_arr])
+    ledger.record_accesses(False, root_pair, right.is_leaf[root_arr])
+    return _SttFrontier(
+        root_arr, root_arr.copy(), root_pair, np.zeros(1, dtype=np.int64)
+    )
+
+
+def materialize_stt_pairs(
+    result: JoinResult,
+    left: ColumnarIndex,
+    right: ColumnarIndex,
+    collected: Iterable[Tuple[np.ndarray, np.ndarray]],
+) -> None:
+    """Resolve collected ``(left_idx, right_idx)`` arrays into result pairs."""
+    get_l = left.objects.__getitem__
+    get_r = right.objects.__getitem__
+    for a_idx, b_idx in collected:
+        result.pairs.extend(
+            (get_l(i), get_r(j)) for i, j in zip(a_idx.tolist(), b_idx.tolist())
         )
 
-    pair_count = ledger.settle(result)
+
+def stt_batch(
+    left: ColumnarIndex, right: ColumnarIndex, collect_pairs: bool = True
+) -> JoinResult:
+    """Synchronised Tree Traversal join of two snapshots.
+
+    Equivalent to :func:`repro.join.stt.synchronized_tree_traversal_join`
+    run on the snapshots' sources: identical pairs, ``pair_count``,
+    ``outer_stats`` and ``inner_stats``.
+    """
+    result = JoinResult()
+    ledger = _PairLedger()
+    frontier = stt_root_frontier(left, right, ledger)
+    if frontier is None:
+        result.set_pair_count(0, collected=collect_pairs)
+        return result
+    collected: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    _stt_rounds(left, right, frontier, ledger, collected, collect_pairs)
+    emitted = ledger.settle(result)
+    pair_count = int(emitted[0]) if len(emitted) else 0
     if collect_pairs:
-        get_l = left.objects.__getitem__
-        get_r = right.objects.__getitem__
-        for a_idx, b_idx in collected:
-            result.pairs.extend(
-                (get_l(i), get_r(j)) for i, j in zip(a_idx.tolist(), b_idx.tolist())
-            )
+        materialize_stt_pairs(result, left, right, ((a, b) for a, b, _ in collected))
     result.set_pair_count(pair_count, collected=collect_pairs)
     return result
+
+
+def stt_shard(
+    left: ColumnarIndex,
+    right: ColumnarIndex,
+    nodes_a: np.ndarray,
+    nodes_b: np.ndarray,
+    collect_pairs: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, Tuple[int, int, int], Tuple[int, int, int]]:
+    """Finish the traversal for one shard of shipped frontier pairs.
+
+    ``nodes_a[i]``/``nodes_b[i]`` is one pending node pair whose creation
+    (and access accounting) already happened in the coordinating process;
+    this runs its subtree join to completion.  Returns
+
+    ``(hits_a, hits_b, hit_roots, root_emissions, outer_stats, inner_stats)``
+
+    where ``hits_a``/``hits_b`` are object-index arrays of the result
+    pairs found (empty when ``collect_pairs`` is false), ``hit_roots``
+    tags each hit with the shipped pair (position in ``nodes_a``) whose
+    subtree emitted it, ``root_emissions`` counts emissions per shipped
+    pair — the coordinator feeds them back into its own ledger so
+    contributing-leaf accounting settles exactly as in a single-process
+    run — and the stats triples are ``(leaf, internal, contributing)``
+    access counts for pairs created inside the shard.
+    """
+    n = len(nodes_a)
+    ledger = _PairLedger()
+    # The shipped pairs are this shard's roots: already accounted for by
+    # the coordinator, so registered without access events.
+    root_pids = ledger.add_pairs(np.full(n, -1, dtype=np.int64))
+    frontier = _SttFrontier(
+        np.asarray(nodes_a, dtype=np.int64),
+        np.asarray(nodes_b, dtype=np.int64),
+        root_pids,
+        np.arange(n, dtype=np.int64),
+    )
+    collected: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    _stt_rounds(left, right, frontier, ledger, collected, collect_pairs)
+    scratch = JoinResult()
+    emitted = ledger.settle(scratch)
+    root_emissions = emitted[:n] if len(emitted) else np.zeros(n, dtype=np.int64)
+    if collected:
+        hits_a = np.concatenate([a for a, _, _ in collected])
+        hits_b = np.concatenate([b for _, b, _ in collected])
+        hit_roots = np.concatenate([r for _, _, r in collected])
+    else:
+        hits_a = hits_b = hit_roots = np.empty(0, dtype=np.int64)
+    outer = scratch.outer_stats
+    inner = scratch.inner_stats
+    return (
+        hits_a,
+        hits_b,
+        hit_roots,
+        root_emissions,
+        (outer.leaf_accesses, outer.internal_accesses, outer.contributing_leaf_accesses),
+        (inner.leaf_accesses, inner.internal_accesses, inner.contributing_leaf_accesses),
+    )

@@ -1,0 +1,442 @@
+"""Multi-process sharded batch execution over shared mmap snapshots.
+
+:class:`ParallelExecutor` fans the batch kernels out across a
+``ProcessPoolExecutor``: range/kNN batches are sharded by query
+partition, INLJ by outer-object partition, and STT by partitioning the
+pair frontier once it is wide enough.  Workers never receive an index —
+they open the snapshot *by path* (:func:`repro.engine.snapshot_io.
+load_snapshot` with ``mmap=True``) and cache it per process, so the only
+things crossing the process boundary are small query arrays going out
+and flat hit-index arrays coming back; the snapshot itself is shared
+copy-free through the page cache.
+
+Merging is deterministic and worker-count independent:
+
+* shards are contiguous partitions, merged back in shard order and then
+  stably grouped by global query (or shipped-pair) index, so result
+  lists are *identical* — element for element — whatever the worker
+  count or shard size;
+* ``IOStats`` are per-query (per-subtree, for STT) sums, so the merged
+  counters equal the single-process engine's exactly.  For STT, workers
+  report per-shipped-pair emission totals which the coordinator feeds
+  back into its own pair ledger, settling contributing-leaf accounting
+  exactly as a single-process run would.
+
+``tests/test_parallel_exec.py`` pins parallel ≡ columnar ≡ scalar across
+workers ∈ {1, 2, 4}.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import shutil
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.engine.columnar import ColumnarIndex
+from repro.engine.executor import (
+    _query_arrays,
+    gather_range_hits,
+    knn_single_indices,
+    materialize_range_hits,
+)
+from repro.engine.join_exec import (
+    _PairLedger,
+    _stt_rounds,
+    materialize_stt_pairs,
+    stt_root_frontier,
+    stt_shard,
+)
+from repro.engine.snapshot_io import load_snapshot, save_snapshot
+from repro.geometry.objects import SpatialObject
+from repro.join.result import JoinResult
+from repro.storage.stats import IOStats
+
+#: STT ships its frontier to the pool once it holds this many pairs.  A
+#: fixed constant (never derived from the worker count) so the shipped
+#: frontier — and therefore merged ordering and accounting — is identical
+#: for every pool size.
+STT_SHIP_THRESHOLD = 64
+
+_StatsTriple = Tuple[int, int, int]
+
+#: Per-process cache of snapshots opened by path (populated in workers).
+_WORKER_SNAPSHOTS = {}
+
+
+def _open_worker_snapshot(path: str) -> ColumnarIndex:
+    snapshot = _WORKER_SNAPSHOTS.get(path)
+    if snapshot is None:
+        snapshot = load_snapshot(path, mmap=True)
+        _WORKER_SNAPSHOTS[path] = snapshot
+    return snapshot
+
+
+def _stats_triple(stats: IOStats) -> _StatsTriple:
+    return (
+        stats.leaf_accesses,
+        stats.internal_accesses,
+        stats.contributing_leaf_accesses,
+    )
+
+
+def _add_stats_triple(stats: Optional[IOStats], triple: _StatsTriple) -> None:
+    if stats is not None:
+        stats.leaf_accesses += triple[0]
+        stats.internal_accesses += triple[1]
+        stats.contributing_leaf_accesses += triple[2]
+
+
+def _range_task(
+    path: str, q_lows: np.ndarray, q_highs: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, _StatsTriple]:
+    """One range shard: shard-local query rows against the whole snapshot."""
+    snapshot = _open_worker_snapshot(path)
+    stats = IOStats()
+    hit_q, hit_obj = gather_range_hits(snapshot, q_lows, q_highs, stats=stats)
+    return hit_q, hit_obj, _stats_triple(stats)
+
+
+def _knn_task(
+    path: str, points: np.ndarray, k: int
+) -> Tuple[List[List[Tuple[float, int]]], _StatsTriple]:
+    """One kNN shard: best-first search per point, objects as indices."""
+    snapshot = _open_worker_snapshot(path)
+    stats = IOStats()
+    results = [knn_single_indices(snapshot, point, k, stats) for point in points]
+    return results, _stats_triple(stats)
+
+
+def _stt_task(
+    left_path: str,
+    right_path: str,
+    nodes_a: np.ndarray,
+    nodes_b: np.ndarray,
+    collect_pairs: bool,
+):
+    """One STT shard: finish the join under the shipped frontier pairs."""
+    left = _open_worker_snapshot(left_path)
+    right = _open_worker_snapshot(right_path)
+    return stt_shard(left, right, nodes_a, nodes_b, collect_pairs)
+
+
+def default_workers() -> int:
+    """Usable CPU count (affinity-aware where the platform reports it)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+class ParallelExecutor:
+    """Shard batch queries and joins across a pool of snapshot workers.
+
+    ``snapshot`` is either an in-RAM :class:`ColumnarIndex` — saved once
+    into ``snapshot_dir`` (a temp directory by default, removed on
+    :meth:`close`) so workers can mmap it — or the path of a directory
+    produced by :func:`~repro.engine.snapshot_io.save_snapshot`, opened
+    zero-copy in the coordinator too.
+
+    The pool is lazy (created on first use), forked where the platform
+    allows so workers inherit the loaded interpreter state, and every
+    task wait is bounded by ``task_timeout`` seconds — a hung worker
+    surfaces as a ``TimeoutError`` instead of a stalled job.  Use as a
+    context manager, or call :meth:`close` when done.
+    """
+
+    def __init__(
+        self,
+        snapshot: Union[ColumnarIndex, str, Path],
+        workers: Optional[int] = None,
+        snapshot_dir: Optional[Union[str, Path]] = None,
+        chunks_per_worker: int = 4,
+        task_timeout: Optional[float] = 600.0,
+    ):
+        self.workers = default_workers() if workers is None else max(1, int(workers))
+        self.chunks_per_worker = max(1, int(chunks_per_worker))
+        self.task_timeout = task_timeout
+        self._owned_dirs: List[Path] = []
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self.snapshot, self.path = self._resolve(snapshot, snapshot_dir)
+
+    def _resolve(
+        self,
+        snapshot: Union[ColumnarIndex, str, Path],
+        snapshot_dir: Optional[Union[str, Path]],
+    ) -> Tuple[ColumnarIndex, Path]:
+        if isinstance(snapshot, ColumnarIndex):
+            if snapshot_dir is None:
+                directory = Path(tempfile.mkdtemp(prefix="repro-snapshot-"))
+                self._owned_dirs.append(directory)
+            else:
+                directory = Path(snapshot_dir)
+            save_snapshot(snapshot, directory)
+            return snapshot, directory
+        directory = Path(snapshot)
+        return load_snapshot(directory, mmap=True), directory
+
+    # ------------------------------------------------------------------
+    # pool plumbing
+    # ------------------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context
+            )
+        return self._pool
+
+    def _chunk_bounds(self, n_items: int) -> List[Tuple[int, int]]:
+        """Contiguous ``(start, end)`` shards covering ``range(n_items)``.
+
+        More chunks than workers (``chunks_per_worker``) so an expensive
+        shard does not leave the rest of the pool idle.
+        """
+        n_chunks = min(n_items, self.workers * self.chunks_per_worker)
+        if n_chunks <= 0:
+            return []
+        edges = np.linspace(0, n_items, n_chunks + 1, dtype=np.int64)
+        return [
+            (int(edges[i]), int(edges[i + 1]))
+            for i in range(n_chunks)
+            if edges[i] < edges[i + 1]
+        ]
+
+    def _run_shards(self, fn, args_per_shard):
+        """Submit one task per shard; yield results in shard order."""
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, *args) for args in args_per_shard]
+        for future in futures:
+            yield future.result(timeout=self.task_timeout)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def range_query_batch(
+        self, rects: Sequence, stats: Optional[IOStats] = None
+    ) -> List[List[SpatialObject]]:
+        """Sharded :func:`repro.engine.executor.range_query_batch`.
+
+        Identical result lists and ``IOStats`` to the single-process
+        engine, for any worker count.
+        """
+        rects = list(rects)
+        if not rects:
+            return []
+        q_lows, q_highs = _query_arrays(self.snapshot, rects)
+        all_q, all_obj = self._sharded_range_hits(q_lows, q_highs, stats)
+        return materialize_range_hits(self.snapshot, len(rects), all_q, all_obj)
+
+    def _sharded_range_hits(
+        self, q_lows: np.ndarray, q_highs: np.ndarray, stats: Optional[IOStats]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        bounds = self._chunk_bounds(len(q_lows))
+        path = str(self.path)
+        q_parts: List[np.ndarray] = []
+        obj_parts: List[np.ndarray] = []
+        shard_args = [(path, q_lows[s:e], q_highs[s:e]) for s, e in bounds]
+        for (start, _), (hit_q, hit_obj, triple) in zip(
+            bounds, self._run_shards(_range_task, shard_args)
+        ):
+            q_parts.append(hit_q + start)
+            obj_parts.append(hit_obj)
+            _add_stats_triple(stats, triple)
+        if not q_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return np.concatenate(q_parts), np.concatenate(obj_parts)
+
+    def knn_batch(
+        self, points: Sequence, k: int, stats: Optional[IOStats] = None
+    ) -> List[List[Tuple[float, SpatialObject]]]:
+        """Sharded :func:`repro.engine.executor.knn_batch` (same contract)."""
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        points = np.asarray(list(points), dtype=np.float64)
+        if len(points) == 0:
+            return []
+        if points.ndim != 2 or points.shape[1] != self.snapshot.dims:
+            raise ValueError(
+                f"points have shape {points.shape}, snapshot expects "
+                f"(n, {self.snapshot.dims})"
+            )
+        bounds = self._chunk_bounds(len(points))
+        path = str(self.path)
+        shard_args = [(path, points[s:e], k) for s, e in bounds]
+        objects = self.snapshot.objects
+        results: List[List[Tuple[float, SpatialObject]]] = []
+        for shard_results, triple in self._run_shards(_knn_task, shard_args):
+            _add_stats_triple(stats, triple)
+            for single in shard_results:
+                results.append([(dist, objects[idx]) for dist, idx in single])
+        return results
+
+    # ------------------------------------------------------------------
+    # joins
+    # ------------------------------------------------------------------
+
+    def inlj_batch(self, outer_objects, collect_pairs: bool = True) -> JoinResult:
+        """Sharded :func:`repro.engine.join_exec.inlj_batch` over this snapshot.
+
+        The outer side is partitioned; every worker probes the whole
+        frozen inner snapshot.  Pairs, ``pair_count`` and ``inner_stats``
+        match the single-process batch join exactly.
+        """
+        outer_objects = list(outer_objects)
+        result = JoinResult()
+        if not outer_objects:
+            result.set_pair_count(0, collected=collect_pairs)
+            return result
+        q_lows = np.array([o.rect.low for o in outer_objects], dtype=np.float64)
+        q_highs = np.array([o.rect.high for o in outer_objects], dtype=np.float64)
+        if q_lows.shape[1] != self.snapshot.dims:
+            raise ValueError(
+                f"outer objects have {q_lows.shape[1]} dims, snapshot expects "
+                f"{self.snapshot.dims}"
+            )
+        all_q, all_obj = self._sharded_range_hits(q_lows, q_highs, result.inner_stats)
+        if collect_pairs and len(all_q):
+            order = np.argsort(all_q, kind="stable")
+            get = self.snapshot.objects.__getitem__
+            result.pairs.extend(
+                (outer_objects[q], get(o))
+                for q, o in zip(all_q[order].tolist(), all_obj[order].tolist())
+            )
+        result.set_pair_count(int(len(all_q)), collected=collect_pairs)
+        return result
+
+    def stt_batch(
+        self,
+        other: Union["ParallelExecutor", ColumnarIndex, str, Path],
+        collect_pairs: bool = True,
+    ) -> JoinResult:
+        """Sharded :func:`repro.engine.join_exec.stt_batch` against ``other``.
+
+        The coordinator runs the first rounds itself until the pair
+        frontier holds :data:`STT_SHIP_THRESHOLD` pairs, then partitions
+        the frontier across the pool; each worker finishes the join under
+        its shipped pairs and reports hits (tagged by shipped pair),
+        per-pair emission totals, and access counts.  Emissions are fed
+        back into the coordinator's ledger, so ``pair_count`` and both
+        sides' ``IOStats`` equal the single-process join; result pairs
+        are merged shipped-pair-major (deterministic and worker-count
+        independent, though ordered differently from the single-process
+        round-major stream — compare as multisets against it).
+        """
+        if isinstance(other, ParallelExecutor):
+            right, right_path = other.snapshot, other.path
+        elif isinstance(other, ColumnarIndex):
+            directory = Path(tempfile.mkdtemp(prefix="repro-snapshot-"))
+            self._owned_dirs.append(directory)
+            save_snapshot(other, directory)
+            right, right_path = other, directory
+        else:
+            right_path = Path(other)
+            right = load_snapshot(right_path, mmap=True)
+
+        left = self.snapshot
+        result = JoinResult()
+        ledger = _PairLedger()
+        frontier = stt_root_frontier(left, right, ledger)
+        if frontier is None:
+            result.set_pair_count(0, collected=collect_pairs)
+            return result
+
+        collected: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        frontier = _stt_rounds(
+            left,
+            right,
+            frontier,
+            ledger,
+            collected,
+            collect_pairs,
+            stop_len=STT_SHIP_THRESHOLD,
+        )
+
+        shipped_pairs: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        if len(frontier):
+            bounds = self._chunk_bounds(len(frontier))
+            shard_args = [
+                (
+                    str(self.path),
+                    str(right_path),
+                    frontier.a[s:e],
+                    frontier.b[s:e],
+                    collect_pairs,
+                )
+                for s, e in bounds
+            ]
+            emissions = np.zeros(len(frontier), dtype=np.int64)
+            pos_parts: List[np.ndarray] = []
+            ha_parts: List[np.ndarray] = []
+            hb_parts: List[np.ndarray] = []
+            for (start, end), shard in zip(
+                bounds, self._run_shards(_stt_task, shard_args)
+            ):
+                hits_a, hits_b, hit_roots, root_emissions, outer_t, inner_t = shard
+                emissions[start:end] = root_emissions
+                _add_stats_triple(result.outer_stats, outer_t)
+                _add_stats_triple(result.inner_stats, inner_t)
+                if len(hits_a):
+                    pos_parts.append(hit_roots + start)
+                    ha_parts.append(hits_a)
+                    hb_parts.append(hits_b)
+            ledger.record_emissions(frontier.pid, emissions)
+            if pos_parts:
+                pos = np.concatenate(pos_parts)
+                order = np.argsort(pos, kind="stable")
+                shipped_pairs = (
+                    np.concatenate(ha_parts)[order],
+                    np.concatenate(hb_parts)[order],
+                )
+
+        emitted = ledger.settle(result)
+        pair_count = int(emitted[0]) if len(emitted) else 0
+        if collect_pairs:
+            chunks = [(a, b) for a, b, _ in collected]
+            if shipped_pairs is not None:
+                chunks.append(shipped_pairs)
+            materialize_stt_pairs(result, left, right, chunks)
+        result.set_pair_count(pair_count, collected=collect_pairs)
+        return result
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the pool down and remove any temp snapshot directories."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        for directory in self._owned_dirs:
+            shutil.rmtree(directory, ignore_errors=True)
+        self._owned_dirs = []
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelExecutor(workers={self.workers}, path={str(self.path)!r}, "
+            f"objects={len(self.snapshot.objects)})"
+        )

@@ -1,0 +1,296 @@
+"""Zero-copy persistence for :class:`~repro.engine.columnar.ColumnarIndex`.
+
+:func:`save_snapshot` writes every snapshot array — including the lazily
+derived ``node_bounds``/``node_levels`` caches, precomputed at save time
+so no reader ever re-derives them — as an individual ``.npy`` file next
+to a JSON manifest recording the format version, dimensionality, per-
+array dtypes/shapes, and a content fingerprint.  :func:`load_snapshot`
+reads the directory back; with ``mmap=True`` (the default) every array
+is an ``mmap_mode="r"`` view of its file, so loading a multi-hundred-
+megabyte index costs milliseconds, touches no heap, and any number of
+processes opening the same directory share one page-cache copy of the
+data — the transport underneath
+:class:`~repro.engine.parallel.ParallelExecutor`'s worker pool.
+
+A loaded snapshot is *differentially identical* to the in-RAM original:
+``range_query_batch``/``knn_batch``/``inlj_batch``/``stt_batch`` return
+the same results with the same ``IOStats`` (``tests/test_snapshot_io.py``
+pins this per variant × dims).  Two deliberate deviations from a
+round-tripped Python object:
+
+* ``source`` is ``None`` — a loaded snapshot has no tree to re-freeze,
+  so it is never stale (like ``build_columnar_str`` output);
+* object payloads are dropped — only ``(oid, rect)`` is persisted, and
+  :class:`SpatialObject` equality is defined on exactly that pair.
+  Objects are materialised lazily on first access, so a worker that
+  only counts hits never builds a single Python object.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, Union
+
+import numpy as np
+
+from repro.engine.columnar import ColumnarIndex
+from repro.geometry.objects import SpatialObject
+from repro.geometry.rect import Rect
+
+#: On-disk format version; bump on any incompatible layout change.
+FORMAT_VERSION = 1
+
+#: Manifest file name inside a snapshot directory.
+MANIFEST_NAME = "manifest.json"
+
+#: Snapshot arrays persisted verbatim: file stem → ColumnarIndex attribute.
+_CORE_ARRAYS = {
+    "is_leaf": "is_leaf",
+    "entry_start": "entry_start",
+    "entry_count": "entry_count",
+    "node_ids": "node_ids",
+    "entry_lows": "entry_lows",
+    "entry_highs": "entry_highs",
+    "entry_child": "entry_child",
+    "clip_start": "clip_start",
+    "clip_count": "clip_count",
+    "clip_coords": "clip_coords",
+    "clip_is_high": "clip_is_high",
+    "node_clip_start": "node_clip_start",
+    "node_clip_count": "node_clip_count",
+}
+
+#: Derived caches and object columns, produced at save time.
+_EXTRA_ARRAYS = (
+    "node_lows",
+    "node_highs",
+    "node_levels",
+    "object_oids",
+    "object_lows",
+    "object_highs",
+)
+
+
+class SnapshotFormatError(RuntimeError):
+    """A snapshot directory is missing, corrupt, or of an unknown format."""
+
+
+class LazyObjectList:
+    """A read-only sequence materialising :class:`SpatialObject` on demand.
+
+    Backed by the ``object_oids``/``object_lows``/``object_highs`` columns
+    (typically mmap views); an object is built — and cached — only when
+    indexed, so result-materialising code pays for exactly the objects it
+    returns.  Payloads are not persisted and come back as ``None``.
+    """
+
+    __slots__ = ("oids", "lows", "highs", "_cache")
+
+    def __init__(self, oids: np.ndarray, lows: np.ndarray, highs: np.ndarray):
+        self.oids = oids
+        self.lows = lows
+        self.highs = highs
+        self._cache: Dict[int, SpatialObject] = {}
+
+    def __len__(self) -> int:
+        return len(self.oids)
+
+    def __getitem__(self, index: int) -> SpatialObject:
+        index = int(index)
+        if index < 0:
+            index += len(self.oids)
+        if not 0 <= index < len(self.oids):
+            raise IndexError(index)
+        obj = self._cache.get(index)
+        if obj is None:
+            obj = SpatialObject(
+                int(self.oids[index]),
+                Rect(self.lows[index].tolist(), self.highs[index].tolist()),
+            )
+            self._cache[index] = obj
+        return obj
+
+    def __iter__(self) -> Iterator[SpatialObject]:
+        for i in range(len(self.oids)):
+            yield self[i]
+
+    def __repr__(self) -> str:
+        return f"LazyObjectList(n={len(self.oids)})"
+
+
+def _fingerprint(arrays: Dict[str, np.ndarray]) -> str:
+    """A sha256 over every array's bytes, in fixed name order."""
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        array = arrays[name]
+        digest.update(name.encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(repr(array.shape).encode())
+        digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
+
+
+def save_snapshot(index: ColumnarIndex, directory: Union[str, Path]) -> Path:
+    """Persist ``index`` into ``directory`` (created if needed).
+
+    Every array lands in its own ``.npy`` file; ``manifest.json`` records
+    the format version, dims, per-array dtype/shape, and a content
+    fingerprint.  The derived ``node_bounds``/``node_levels`` caches are
+    forced first (:meth:`ColumnarIndex.precompute_derived`) so loaded
+    snapshots — and every worker process that opens one — never recompute
+    them.  Returns the directory path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    index.precompute_derived()
+    node_lows, node_highs = index.node_bounds()
+    objects = index.objects
+    if isinstance(objects, LazyObjectList):
+        object_oids = np.ascontiguousarray(objects.oids, dtype=np.int64)
+        object_lows = np.ascontiguousarray(objects.lows, dtype=np.float64)
+        object_highs = np.ascontiguousarray(objects.highs, dtype=np.float64)
+    else:
+        object_oids = np.array([obj.oid for obj in objects], dtype=np.int64)
+        object_lows = np.array(
+            [obj.rect.low for obj in objects], dtype=np.float64
+        ).reshape(len(objects), index.dims)
+        object_highs = np.array(
+            [obj.rect.high for obj in objects], dtype=np.float64
+        ).reshape(len(objects), index.dims)
+
+    arrays: Dict[str, np.ndarray] = {
+        name: getattr(index, attr) for name, attr in _CORE_ARRAYS.items()
+    }
+    arrays["node_lows"] = node_lows
+    arrays["node_highs"] = node_highs
+    arrays["node_levels"] = index.node_levels()
+    arrays["object_oids"] = object_oids
+    arrays["object_lows"] = object_lows
+    arrays["object_highs"] = object_highs
+
+    for name, array in arrays.items():
+        np.save(directory / f"{name}.npy", array, allow_pickle=False)
+
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "dims": index.dims,
+        "counts": {
+            "nodes": int(len(index.is_leaf)),
+            "entries": int(len(index.entry_child)),
+            "clip_points": int(len(index.clip_coords)),
+            "objects": int(len(object_oids)),
+        },
+        "arrays": {
+            name: {"dtype": str(array.dtype), "shape": list(array.shape)}
+            for name, array in arrays.items()
+        },
+        "source": {
+            "type": type(index.source).__name__ if index.source is not None else None,
+            "version": index.source_version,
+        },
+        "fingerprint": _fingerprint(arrays),
+    }
+    # Write-then-rename so a crash mid-save leaves no half-valid manifest:
+    # a directory is a snapshot exactly when its manifest parses.
+    tmp_path = directory / (MANIFEST_NAME + ".tmp")
+    tmp_path.write_text(json.dumps(manifest, indent=2) + "\n")
+    os.replace(tmp_path, directory / MANIFEST_NAME)
+    return directory
+
+
+def read_manifest(directory: Union[str, Path]) -> dict:
+    """Parse and version-check a snapshot directory's manifest."""
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise SnapshotFormatError(f"no snapshot manifest at {manifest_path}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, ValueError) as exc:
+        raise SnapshotFormatError(f"unreadable snapshot manifest {manifest_path}: {exc}")
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SnapshotFormatError(
+            f"snapshot format version {version!r} at {directory} is not supported "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    for key in ("dims", "arrays"):
+        if key not in manifest:
+            raise SnapshotFormatError(f"snapshot manifest {manifest_path} lacks {key!r}")
+    return manifest
+
+
+def _load_array(
+    directory: Path, name: str, spec: dict, mmap: bool
+) -> np.ndarray:
+    path = directory / f"{name}.npy"
+    if not path.is_file():
+        raise SnapshotFormatError(f"snapshot array file missing: {path}")
+    try:
+        array = np.load(path, mmap_mode="r" if mmap else None, allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise SnapshotFormatError(f"unreadable snapshot array {path}: {exc}")
+    if str(array.dtype) != spec.get("dtype") or list(array.shape) != spec.get("shape"):
+        raise SnapshotFormatError(
+            f"snapshot array {path} is {array.dtype}{array.shape}, manifest "
+            f"says {spec.get('dtype')}{tuple(spec.get('shape', ()))}"
+        )
+    return array
+
+
+def load_snapshot(directory: Union[str, Path], mmap: bool = True) -> ColumnarIndex:
+    """Open the snapshot saved in ``directory``.
+
+    ``mmap=True`` maps every array read-only straight off disk — loading
+    is O(metadata), the OS pages data in on first touch, and concurrent
+    processes share one physical copy.  ``mmap=False`` reads the arrays
+    into RAM (useful when the snapshot directory is about to disappear,
+    e.g. tests using temp dirs that outlive the view).
+
+    Raises :class:`SnapshotFormatError` on a missing/corrupt manifest, a
+    format-version mismatch, or any array whose dtype/shape disagrees
+    with the manifest.
+    """
+    directory = Path(directory)
+    manifest = read_manifest(directory)
+    specs = manifest["arrays"]
+    expected = set(_CORE_ARRAYS) | set(_EXTRA_ARRAYS)
+    missing = expected - set(specs)
+    if missing:
+        raise SnapshotFormatError(
+            f"snapshot manifest {directory / MANIFEST_NAME} lacks arrays: "
+            f"{sorted(missing)}"
+        )
+    arrays = {
+        name: _load_array(directory, name, specs[name], mmap) for name in sorted(expected)
+    }
+
+    snapshot = ColumnarIndex(
+        source=None,
+        dims=int(manifest["dims"]),
+        is_leaf=arrays["is_leaf"],
+        entry_start=arrays["entry_start"],
+        entry_count=arrays["entry_count"],
+        node_ids=arrays["node_ids"],
+        entry_lows=arrays["entry_lows"],
+        entry_highs=arrays["entry_highs"],
+        entry_child=arrays["entry_child"],
+        clip_start=arrays["clip_start"],
+        clip_count=arrays["clip_count"],
+        clip_coords=arrays["clip_coords"],
+        clip_is_high=arrays["clip_is_high"],
+        objects=LazyObjectList(
+            arrays["object_oids"], arrays["object_lows"], arrays["object_highs"]
+        ),
+        source_version=None,
+        node_clip_start=arrays["node_clip_start"],
+        node_clip_count=arrays["node_clip_count"],
+    )
+    snapshot.seed_derived(
+        arrays["node_lows"], arrays["node_highs"], arrays["node_levels"]
+    )
+    return snapshot

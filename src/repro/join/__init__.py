@@ -44,6 +44,7 @@ def execute_join(
     engine: str = "scalar",
     collect_pairs: bool = True,
     stale: str = "refresh",
+    workers: int = 1,
 ) -> JoinResult:
     """Run one spatial join with the selected algorithm and engine.
 
@@ -67,6 +68,13 @@ def execute_join(
     be a :class:`~repro.engine.delta.SnapshotManager`, in which case the
     join merges its base snapshot with the pending delta regardless of
     ``engine``.
+
+    ``workers`` > 1 (columnar engine only) shards the join across a
+    process pool over shared mmap snapshots — INLJ by outer-object
+    partition, STT by pair-frontier partition (see
+    :class:`~repro.engine.parallel.ParallelExecutor`).  Pair counts and
+    both sides' ``IOStats`` still match the serial engines exactly;
+    STT's collected pairs arrive in a different (deterministic) order.
     """
     if algorithm not in JOIN_ALGORITHMS:
         raise ValueError(
@@ -74,6 +82,7 @@ def execute_join(
         )
     if engine not in JOIN_ENGINES:
         raise ValueError(f"unknown join engine {engine!r}; known: {JOIN_ENGINES}")
+    workers = int(workers)
     if getattr(left, "is_snapshot_manager", False) or getattr(
         right, "is_snapshot_manager", False
     ):
@@ -82,10 +91,28 @@ def execute_join(
         from repro.engine.delta import overlay_join
 
         return overlay_join(left, right, algorithm=algorithm, collect_pairs=collect_pairs)
+    if workers > 1 and engine != "columnar":
+        raise ValueError(
+            "workers > 1 requires the columnar join engine (pass engine='columnar')"
+        )
     if engine == "columnar":
         # Imported lazily: the scalar path must not require NumPy.
         from repro.engine.join_exec import inlj_batch, stt_batch
 
+        if workers > 1:
+            from repro.engine.parallel import ParallelExecutor
+
+            if algorithm == "inlj":
+                with ParallelExecutor(
+                    _as_snapshot(right, stale), workers=workers
+                ) as executor:
+                    return executor.inlj_batch(left, collect_pairs=collect_pairs)
+            with ParallelExecutor(
+                _as_snapshot(left, stale), workers=workers
+            ) as executor:
+                return executor.stt_batch(
+                    _as_snapshot(right, stale), collect_pairs=collect_pairs
+                )
         if algorithm == "inlj":
             return inlj_batch(
                 left, _as_snapshot(right, stale), collect_pairs=collect_pairs

@@ -58,6 +58,8 @@ def execute_workload(
     queries: Iterable[Rect],
     engine: str = "scalar",
     stale: str = "refresh",
+    workers: int = 1,
+    snapshot_dir=None,
 ) -> WorkloadResult:
     """Run every query against ``index`` and accumulate I/O statistics.
 
@@ -71,6 +73,17 @@ def execute_workload(
       through the vectorized executor.  Result counts and I/O statistics
       are identical to the scalar path; only wall-clock time differs.
 
+    ``workers`` > 1 additionally shards the batch by query partition
+    across a process pool (:class:`~repro.engine.parallel.
+    ParallelExecutor`): the snapshot is persisted once (into
+    ``snapshot_dir``, or a temp directory) and every worker opens it as a
+    read-only mmap, so results and I/O statistics still match the serial
+    engines exactly.  Parallel execution implies the columnar engine; it
+    is a ``ValueError`` to combine ``workers > 1`` with
+    ``engine="scalar"`` or with a
+    :class:`~repro.engine.delta.SnapshotManager` (whose mutable overlay
+    lives only in the serving process).
+
     Passing an already-frozen ``ColumnarIndex`` selects the columnar
     engine automatically — a snapshot has no scalar traversal to fall
     back on.  A pre-frozen snapshot whose source tree has mutated is
@@ -83,8 +96,14 @@ def execute_workload(
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
+    workers = int(workers)
+    if workers > 1 and engine == "scalar" and hasattr(index, "range_query"):
+        raise ValueError(
+            "workers > 1 requires the columnar engine (pass engine='columnar')"
+        )
     if (
         engine == "columnar"
+        or workers > 1
         or not hasattr(index, "range_query")
         or getattr(index, "is_snapshot_manager", False)
     ):
@@ -97,13 +116,26 @@ def execute_workload(
         stats = IOStats()
         queries = list(queries)
         if getattr(index, "is_snapshot_manager", False):
+            if workers > 1:
+                raise ValueError(
+                    "workers > 1 cannot serve a SnapshotManager; compact it "
+                    "and pass the frozen snapshot instead"
+                )
             results = index.range_query_batch(queries, stats=stats)
         else:
             if isinstance(index, ColumnarIndex):
                 snapshot = resolve_stale(index, stale)
             else:
                 snapshot = ColumnarIndex.from_tree(index)
-            results = range_query_batch(snapshot, queries, stats=stats)
+            if workers > 1:
+                from repro.engine.parallel import ParallelExecutor
+
+                with ParallelExecutor(
+                    snapshot, workers=workers, snapshot_dir=snapshot_dir
+                ) as executor:
+                    results = executor.range_query_batch(queries, stats=stats)
+            else:
+                results = range_query_batch(snapshot, queries, stats=stats)
         total_results = sum(len(r) for r in results)
         return WorkloadResult(queries=len(queries), total_results=total_results, stats=stats)
 

@@ -1,0 +1,268 @@
+"""Round-trip tests for the zero-copy snapshot persistence layer.
+
+A snapshot saved with :func:`save_snapshot` and reopened with
+:func:`load_snapshot` — mmap'd or copied — must be *differentially
+identical* to the in-RAM original: every batch entry point returns the
+same results with the same ``IOStats``.  The suite also pins the
+manifest's integrity checks (missing/corrupt manifest, format-version
+mismatch, missing or tampered array files), the lazy object
+materialisation, and the dtype/contiguity pinning that makes the arrays
+mmap-stable in the first place.
+"""
+
+import json
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    FORMAT_VERSION,
+    ColumnarIndex,
+    SnapshotFormatError,
+    inlj_batch,
+    knn_batch,
+    load_snapshot,
+    range_query_batch,
+    save_snapshot,
+    stt_batch,
+)
+from repro.engine.snapshot_io import LazyObjectList, MANIFEST_NAME, read_manifest
+from repro.geometry.rect import Rect
+from repro.rtree.clipped import ClippedRTree
+from repro.rtree.registry import build_rtree
+from repro.storage.stats import IOStats
+from tests.conftest import make_random_objects
+
+
+def _frozen(dims=3, count=120, clip=None, seed=0, variant="rstar"):
+    objects = make_random_objects(count, dims=dims, seed=seed)
+    tree = build_rtree(variant, objects, max_entries=8)
+    index = ClippedRTree.wrap(tree, method=clip) if clip else tree
+    return objects, ColumnarIndex.from_tree(index)
+
+
+def _queries(objects, count=12, pad=1.5):
+    """Inflated object rectangles: selective but never all-empty."""
+    step = max(1, len(objects) // count)
+    queries = []
+    for obj in objects[::step][:count]:
+        low = [c - pad for c in obj.rect.low]
+        high = [c + pad for c in obj.rect.high]
+        queries.append(Rect(low, high))
+    return queries
+
+
+def _oid_lists(results):
+    return [[obj.oid for obj in batch] for batch in results]
+
+
+def _assert_differentially_identical(reference, loaded, queries):
+    stats_ref, stats_load = IOStats(), IOStats()
+    res_ref = range_query_batch(reference, queries, stats=stats_ref)
+    res_load = range_query_batch(loaded, queries, stats=stats_load)
+    assert _oid_lists(res_ref) == _oid_lists(res_load)
+    assert stats_ref == stats_load
+
+    points = [q.low for q in queries[:4]]
+    stats_ref, stats_load = IOStats(), IOStats()
+    knn_ref = knn_batch(reference, points, k=3, stats=stats_ref)
+    knn_load = knn_batch(loaded, points, k=3, stats=stats_load)
+    assert [[(d, o.oid) for d, o in r] for r in knn_ref] == [
+        [(d, o.oid) for d, o in r] for r in knn_load
+    ]
+    assert stats_ref == stats_load
+
+
+@pytest.mark.parametrize("dims", range(2, 9))
+@pytest.mark.parametrize("clip", [None, "stairline"])
+def test_round_trip_identical(tmp_path, dims, clip):
+    objects, reference = _frozen(dims=dims, clip=clip)
+    queries = _queries(objects)
+    save_snapshot(reference, tmp_path / "snap")
+    for mmap in (True, False):
+        loaded = load_snapshot(tmp_path / "snap", mmap=mmap)
+        assert loaded.dims == reference.dims
+        assert len(loaded.objects) == len(objects)
+        _assert_differentially_identical(reference, loaded, queries)
+
+
+def test_round_trip_joins_identical(tmp_path):
+    left_objects, left = _frozen(dims=3, count=150, clip="stairline", seed=1)
+    right_objects, right = _frozen(dims=3, count=150, seed=2)
+    save_snapshot(left, tmp_path / "left")
+    save_snapshot(right, tmp_path / "right")
+    loaded_left = load_snapshot(tmp_path / "left")
+    loaded_right = load_snapshot(tmp_path / "right")
+
+    ref = stt_batch(left, right)
+    got = stt_batch(loaded_left, loaded_right)
+    assert got.pair_count == ref.pair_count
+    assert got.outer_stats == ref.outer_stats
+    assert got.inner_stats == ref.inner_stats
+    assert {(a.oid, b.oid) for a, b in got.pairs} == {
+        (a.oid, b.oid) for a, b in ref.pairs
+    }
+
+    ref = inlj_batch(left_objects, right)
+    got = inlj_batch(left_objects, loaded_right)
+    assert got.pair_count == ref.pair_count
+    assert got.inner_stats == ref.inner_stats
+    assert [(a.oid, b.oid) for a, b in got.pairs] == [
+        (a.oid, b.oid) for a, b in ref.pairs
+    ]
+
+
+def test_round_trip_is_bit_exact(tmp_path):
+    _, reference = _frozen(clip="skyline")
+    save_snapshot(reference, tmp_path / "first")
+    first = read_manifest(tmp_path / "first")
+
+    # Saving the same snapshot again reproduces the fingerprint...
+    save_snapshot(reference, tmp_path / "again")
+    assert read_manifest(tmp_path / "again")["fingerprint"] == first["fingerprint"]
+
+    # ...and so does saving a *loaded* snapshot: load → save is lossless.
+    loaded = load_snapshot(tmp_path / "first")
+    save_snapshot(loaded, tmp_path / "second")
+    second = read_manifest(tmp_path / "second")
+    assert second["fingerprint"] == first["fingerprint"]
+    assert second["arrays"] == first["arrays"]
+
+
+def test_loaded_snapshot_has_derived_caches(tmp_path):
+    _, reference = _frozen()
+    ref_lows, ref_highs = reference.node_bounds()
+    ref_levels = reference.node_levels()
+    save_snapshot(reference, tmp_path / "snap")
+    loaded = load_snapshot(tmp_path / "snap")
+    # Seeded at load time from the persisted files — no recomputation.
+    assert loaded._node_lows is not None
+    assert loaded._node_levels is not None
+    lows, highs = loaded.node_bounds()
+    np.testing.assert_array_equal(lows, ref_lows)
+    np.testing.assert_array_equal(highs, ref_highs)
+    np.testing.assert_array_equal(loaded.node_levels(), ref_levels)
+
+
+def test_no_mmap_load_survives_directory_removal(tmp_path):
+    objects, reference = _frozen()
+    queries = _queries(objects)
+    save_snapshot(reference, tmp_path / "snap")
+    loaded = load_snapshot(tmp_path / "snap", mmap=False)
+    shutil.rmtree(tmp_path / "snap")
+    _assert_differentially_identical(reference, loaded, queries)
+
+
+def test_missing_manifest(tmp_path):
+    with pytest.raises(SnapshotFormatError, match="no snapshot manifest"):
+        load_snapshot(tmp_path / "nowhere")
+
+
+def test_corrupt_manifest(tmp_path):
+    _, reference = _frozen(count=60)
+    save_snapshot(reference, tmp_path)
+    (tmp_path / MANIFEST_NAME).write_text("{not json")
+    with pytest.raises(SnapshotFormatError, match="unreadable"):
+        load_snapshot(tmp_path)
+
+
+def test_future_format_version_rejected(tmp_path):
+    _, reference = _frozen(count=60)
+    save_snapshot(reference, tmp_path)
+    manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+    manifest["format_version"] = FORMAT_VERSION + 1
+    (tmp_path / MANIFEST_NAME).write_text(json.dumps(manifest))
+    with pytest.raises(SnapshotFormatError, match="not supported"):
+        load_snapshot(tmp_path)
+
+
+def test_missing_array_file(tmp_path):
+    _, reference = _frozen(count=60)
+    save_snapshot(reference, tmp_path)
+    (tmp_path / "entry_lows.npy").unlink()
+    with pytest.raises(SnapshotFormatError, match="missing"):
+        load_snapshot(tmp_path)
+
+
+def test_manifest_array_entry_missing(tmp_path):
+    _, reference = _frozen(count=60)
+    save_snapshot(reference, tmp_path)
+    manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+    del manifest["arrays"]["node_levels"]
+    (tmp_path / MANIFEST_NAME).write_text(json.dumps(manifest))
+    with pytest.raises(SnapshotFormatError, match="lacks arrays"):
+        load_snapshot(tmp_path)
+
+
+@pytest.mark.parametrize("field,value", [("dtype", "float32"), ("shape", [1, 1])])
+def test_tampered_array_spec_rejected(tmp_path, field, value):
+    _, reference = _frozen(count=60)
+    save_snapshot(reference, tmp_path)
+    manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+    manifest["arrays"]["entry_lows"][field] = value
+    (tmp_path / MANIFEST_NAME).write_text(json.dumps(manifest))
+    with pytest.raises(SnapshotFormatError, match="manifest"):
+        load_snapshot(tmp_path)
+
+
+def test_lazy_object_list(tmp_path):
+    objects, reference = _frozen(count=40)
+    save_snapshot(reference, tmp_path)
+    loaded = load_snapshot(tmp_path)
+    lazy = loaded.objects
+    assert isinstance(lazy, LazyObjectList)
+    assert len(lazy) == len(objects)
+    # The column order is the snapshot's leaf order, not insertion order;
+    # materialised objects equal the originals (oid + rect; payloads are
+    # not persisted) and are cached, so repeated access is identity-stable.
+    by_oid = {obj.oid: obj for obj in objects}
+    assert lazy[5] == by_oid[lazy[5].oid]
+    assert lazy[5] is lazy[5]
+    assert lazy[-1] is lazy[len(objects) - 1]
+    assert sorted(obj.oid for obj in lazy) == sorted(by_oid)
+    assert all(obj == by_oid[obj.oid] for obj in lazy)
+    with pytest.raises(IndexError):
+        lazy[len(objects)]
+
+
+_EXPECTED_DTYPES = {
+    "is_leaf": np.bool_,
+    "clip_is_high": np.bool_,
+    "entry_lows": np.float64,
+    "entry_highs": np.float64,
+    "clip_coords": np.float64,
+    "entry_start": np.int64,
+    "entry_count": np.int64,
+    "node_ids": np.int64,
+    "entry_child": np.int64,
+    "clip_start": np.int64,
+    "clip_count": np.int64,
+    "node_clip_start": np.int64,
+    "node_clip_count": np.int64,
+}
+
+
+def test_frozen_arrays_are_pinned_and_contiguous():
+    _, snapshot = _frozen(clip="stairline")
+    for attr, dtype in _EXPECTED_DTYPES.items():
+        array = getattr(snapshot, attr)
+        assert array.dtype == np.dtype(dtype), attr
+        assert array.flags["C_CONTIGUOUS"], attr
+
+
+def test_loaded_arrays_keep_pinned_dtypes(tmp_path):
+    _, reference = _frozen(clip="stairline")
+    save_snapshot(reference, tmp_path)
+    for mmap in (True, False):
+        loaded = load_snapshot(tmp_path, mmap=mmap)
+        for attr, dtype in _EXPECTED_DTYPES.items():
+            assert getattr(loaded, attr).dtype == np.dtype(dtype), attr
+
+
+def test_loaded_snapshot_is_never_stale(tmp_path):
+    _, reference = _frozen()
+    save_snapshot(reference, tmp_path)
+    loaded = load_snapshot(tmp_path)
+    assert loaded.source is None
+    assert not loaded.is_stale
