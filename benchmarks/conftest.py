@@ -10,12 +10,31 @@ benchmark modules.  Scale everything up or down with the
 import pytest
 
 from repro.bench import BenchConfig, ExperimentContext
+from repro.bench.archive import check_floors, write_legacy_bench
 
 
 @pytest.fixture(scope="session")
 def context() -> ExperimentContext:
     """One shared experiment context for the whole benchmark session."""
     return ExperimentContext(BenchConfig())
+
+
+@pytest.fixture
+def bench_recorder():
+    """Write a legacy ``BENCH_*.json`` record and enforce its floors.
+
+    The five speedup benchmarks used to carry identical copies of the
+    write-json-then-assert-floors block; they now delegate to the archive
+    serializer (byte-compatible output) and the shared
+    :class:`repro.bench.archive.Floor` checker.
+    """
+
+    def _record(path, record, floors=()):
+        write_legacy_bench(record, path)
+        failures = check_floors(record, floors)
+        assert not failures, "; ".join(failures) + f"; see {path}"
+
+    return _record
 
 
 def pytest_addoption(parser):

@@ -16,11 +16,11 @@ The default scale (``REPRO_BUILD_BENCH_SCALE=1``) uses 20 000 objects to
 keep the tier-1 suite fast; raise it to stress production-scale builds.
 """
 
-import json
 import os
 import time
 from pathlib import Path
 
+from repro.bench.archive import Floor
 from repro.cbb.clipping import ClippingConfig
 from repro.datasets import generate
 from repro.engine import ColumnarIndex, build_columnar_str
@@ -78,7 +78,7 @@ def _time_clip_engines(tree, method, scalar_repeats=2, vectorized_repeats=3):
     }
 
 
-def test_build_speedup_smoke():
+def test_build_speedup_smoke(bench_recorder):
     scale = _scale()
     n_objects = int(20_000 * scale)
 
@@ -113,9 +113,14 @@ def test_build_speedup_smoke():
         "str_pack_columnar_seconds": round(pack_vector, 4),
         "str_pack_speedup": round(pack_scalar / pack_vector, 2),
     }
-    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
-
-    assert clip_3d["speedup"] >= MIN_SPEEDUP, (
-        f"vectorized clip_all only {clip_3d['speedup']:.1f}x faster than scalar "
-        f"(floor {MIN_SPEEDUP}x); see {BENCH_PATH}"
+    bench_recorder(
+        BENCH_PATH,
+        record,
+        floors=[
+            Floor(
+                "clip_uniform03_stairline.speedup",
+                MIN_SPEEDUP,
+                label="vectorized clip_all speedup over scalar (3-d stairline)",
+            ),
+        ],
     )

@@ -11,11 +11,11 @@ The default scale (`REPRO_ENGINE_BENCH_SCALE=1`) uses 25 000 objects and
 reproduces the ISSUE's 100k-object / 1k-query setting.
 """
 
-import json
 import os
 import time
 from pathlib import Path
 
+from repro.bench.archive import Floor
 from repro.datasets import generate
 from repro.engine import ColumnarIndex
 from repro.query.range_query import execute_workload
@@ -43,7 +43,7 @@ def _best_of(fn, repeats=3):
     return min(times)
 
 
-def test_engine_speedup_smoke():
+def test_engine_speedup_smoke(bench_recorder):
     scale = _scale()
     n_objects = int(25_000 * scale)
     n_queries = int(250 * scale)
@@ -86,9 +86,10 @@ def test_engine_speedup_smoke():
         "avg_results_per_query": round(scalar_result.avg_results, 2),
         "leaf_accesses": scalar_result.stats.leaf_accesses,
     }
-    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
-
-    assert speedup >= MIN_SPEEDUP, (
-        f"columnar engine only {speedup:.1f}x faster than scalar "
-        f"(floor {MIN_SPEEDUP}x); see {BENCH_PATH}"
+    bench_recorder(
+        BENCH_PATH,
+        record,
+        floors=[
+            Floor("speedup", MIN_SPEEDUP, label="columnar engine speedup over scalar"),
+        ],
     )

@@ -12,11 +12,11 @@ side to keep the tier-1 suite fast; raise it to stress
 production-scale joins.
 """
 
-import json
 import os
 import time
 from pathlib import Path
 
+from repro.bench.archive import Floor
 from repro.datasets.neurites import NeuriteGenerator
 from repro.engine import ColumnarIndex, inlj_batch, stt_batch
 from repro.join.inlj import index_nested_loop_join
@@ -56,7 +56,7 @@ def _leaf_profile(result):
     )
 
 
-def test_join_speedup_smoke():
+def test_join_speedup_smoke(bench_recorder):
     scale = _scale()
     n_objects = int(6_000 * scale)
 
@@ -124,13 +124,11 @@ def test_join_speedup_smoke():
         "stt_columnar_seconds": round(stt_batch_seconds, 4),
         "stt_speedup": round(stt_speedup, 2),
     }
-    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
-
-    assert inlj_speedup >= MIN_SPEEDUP, (
-        f"columnar INLJ only {inlj_speedup:.1f}x faster than scalar "
-        f"(floor {MIN_SPEEDUP}x); see {BENCH_PATH}"
-    )
-    assert stt_speedup >= MIN_SPEEDUP, (
-        f"columnar STT only {stt_speedup:.1f}x faster than scalar "
-        f"(floor {MIN_SPEEDUP}x); see {BENCH_PATH}"
+    bench_recorder(
+        BENCH_PATH,
+        record,
+        floors=[
+            Floor("inlj_speedup", MIN_SPEEDUP, label="columnar INLJ speedup over scalar"),
+            Floor("stt_speedup", MIN_SPEEDUP, label="columnar STT speedup over scalar"),
+        ],
     )

@@ -20,12 +20,13 @@ engine (result counts and ``IOStats``) — a speedup over wrong answers
 counts for nothing.  ``REPRO_PARALLEL_BENCH_SCALE`` scales the workload.
 """
 
-import json
 import os
 import time
 from pathlib import Path
 
 import numpy as np
+
+from repro.bench.archive import Floor
 
 from repro.datasets.neurites import NeuriteGenerator
 from repro.engine import (
@@ -88,7 +89,7 @@ def _uniform_objects(count: int, dims: int = 2, seed: int = 7):
     ]
 
 
-def test_parallel_speedup_smoke(tmp_path):
+def test_parallel_speedup_smoke(tmp_path, bench_recorder):
     scale = _scale()
     cores = _usable_cores()
     enforce_parallel = cores >= POOL_WORKERS
@@ -223,19 +224,26 @@ def test_parallel_speedup_smoke(tmp_path):
             "stt_parallel_speedup": round(stt_speedup, 2),
         }
     )
-    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
-
-    assert load_speedup >= MIN_LOAD_SPEEDUP, (
-        f"mmap snapshot load only {load_speedup:.1f}x faster than rebuilding "
-        f"{n_objects} objects (floor {MIN_LOAD_SPEEDUP}x); see {BENCH_PATH}"
+    bench_recorder(
+        BENCH_PATH,
+        record,
+        floors=[
+            Floor(
+                "load_speedup_vs_rebuild",
+                MIN_LOAD_SPEEDUP,
+                label="mmap snapshot load speedup vs rebuild-from-objects",
+            ),
+            Floor(
+                "range_parallel_speedup",
+                MIN_PARALLEL_SPEEDUP,
+                enforce=enforce_parallel,
+                label=f"pooled range batch speedup on {cores} cores",
+            ),
+            Floor(
+                "inlj_parallel_speedup",
+                MIN_PARALLEL_SPEEDUP,
+                enforce=enforce_parallel,
+                label=f"pooled INLJ speedup on {cores} cores",
+            ),
+        ],
     )
-    if enforce_parallel:
-        assert range_speedup >= MIN_PARALLEL_SPEEDUP, (
-            f"pooled range batch only {range_speedup:.1f}x faster than "
-            f"single-worker (floor {MIN_PARALLEL_SPEEDUP}x on {cores} cores); "
-            f"see {BENCH_PATH}"
-        )
-        assert inlj_speedup >= MIN_PARALLEL_SPEEDUP, (
-            f"pooled INLJ only {inlj_speedup:.1f}x faster than single-worker "
-            f"(floor {MIN_PARALLEL_SPEEDUP}x on {cores} cores); see {BENCH_PATH}"
-        )

@@ -18,12 +18,12 @@ larger snapshots.
 """
 
 import copy
-import json
 import os
 import random
 import time
 from pathlib import Path
 
+from repro.bench.archive import Floor
 from repro.datasets.registry import dataset_info
 from repro.engine.delta import SnapshotManager
 from repro.query.range_query import brute_force_range
@@ -77,7 +77,7 @@ def _keys(hits):
     return sorted((obj.oid, obj.rect.low, obj.rect.high) for obj in hits)
 
 
-def test_update_speedup_smoke():
+def test_update_speedup_smoke(bench_recorder):
     scale = _scale()
     n_objects = int(6_000 * scale)
     n_updates = int(300 * scale)
@@ -137,9 +137,14 @@ def test_update_speedup_smoke():
         "compactions": delta_manager.total_compactions,
         "reclipped_nodes": delta_manager.total_reclipped_nodes,
     }
-    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
-
-    assert speedup >= MIN_SPEEDUP, (
-        f"delta updates only {speedup:.1f}x cheaper than refreeze-per-write "
-        f"(floor {MIN_SPEEDUP}x); see {BENCH_PATH}"
+    bench_recorder(
+        BENCH_PATH,
+        record,
+        floors=[
+            Floor(
+                "speedup",
+                MIN_SPEEDUP,
+                label="amortized delta write speedup over refreeze-per-write",
+            ),
+        ],
     )

@@ -1,14 +1,25 @@
-"""Benchmark harness: configuration, shared builders, and per-figure experiments.
+"""Benchmark harness: configuration, shared builders, and archived experiments.
 
-Every table and figure of the paper's evaluation has a module under
-``repro.bench.experiments`` whose ``run(config)`` function returns the
-rows the paper plots; the ``benchmarks/`` pytest-benchmark suite executes
-them and prints the tables, and ``EXPERIMENTS.md`` records the comparison
-against the published numbers.
+Every table and figure of the paper's evaluation — plus the scenario
+matrix the paper never ran (``dims``, ``mixed``, ``hotspot``) — is a
+registered experiment (:mod:`repro.bench.registry`) with a uniform
+``build(context, **kwargs) -> tables`` contract.  The runner
+(:mod:`repro.bench.runner`) executes registered experiments with
+parameter overrides and writes timestamped archive folders
+(:mod:`repro.bench.archive`); ``repro bench compare`` diffs a run
+against a prior archive and exits non-zero on metric regressions.
 """
 
-from repro.bench.config import BenchConfig
-from repro.bench.harness import ExperimentContext
-from repro.bench.reporting import format_table
+from repro.bench.config import BenchConfig, ParameterError
+from repro.bench.harness import DatasetCache, ExperimentContext, GLOBAL_DATASET_CACHE
+from repro.bench.reporting import format_table, to_markdown
 
-__all__ = ["BenchConfig", "ExperimentContext", "format_table"]
+__all__ = [
+    "BenchConfig",
+    "ParameterError",
+    "DatasetCache",
+    "ExperimentContext",
+    "GLOBAL_DATASET_CACHE",
+    "format_table",
+    "to_markdown",
+]

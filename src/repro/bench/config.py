@@ -11,9 +11,14 @@ dataset and query count).
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Mapping, Tuple
+
+
+class ParameterError(ValueError):
+    """An unknown parameter name or an unparsable parameter value."""
 
 
 def _scale() -> float:
@@ -31,6 +36,12 @@ _DEFAULT_SIZES = {
     "axo03": 2200,
     "den03": 2200,
     "neu03": 2200,
+    # uniform stand-ins for the d ∈ {2,...,8} scenario sweep
+    "uniform02": 1600,
+    "uniform03": 1600,
+    "uniform04": 1600,
+    "uniform06": 1600,
+    "uniform08": 1600,
 }
 
 
@@ -101,3 +112,98 @@ class BenchConfig:
             scalability_size=1200,
             join_size=400,
         )
+
+    # ------------------------------------------------------------------
+    # declarative parameter schema (used by ``repro bench run --set``)
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> Dict:
+        """A JSON-serialisable snapshot of every parameter."""
+        data = dataclasses.asdict(self)
+        data["variants"] = list(self.variants)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "BenchConfig":
+        """Rebuild a config from :meth:`as_dict` output (extra keys ignored).
+
+        Used by ``repro bench compare`` to re-run an experiment under the
+        exact configuration recorded in a baseline archive.
+        """
+        names = {fld.name for fld in dataclasses.fields(cls)}
+        kwargs = {key: value for key, value in data.items() if key in names}
+        if "variants" in kwargs:
+            kwargs["variants"] = tuple(kwargs["variants"])
+        if "dataset_sizes" in kwargs:
+            kwargs["dataset_sizes"] = {
+                str(name): int(size) for name, size in kwargs["dataset_sizes"].items()
+            }
+        return cls(**kwargs)
+
+    @classmethod
+    def param_schema(cls) -> Dict[str, str]:
+        """Settable parameter names mapped to a human-readable type.
+
+        Derived from the dataclass fields; ``size`` is a convenience
+        pseudo-parameter that sets every entry of ``dataset_sizes`` at
+        once (mirroring the CLI's ``--size``).
+        """
+        schema: Dict[str, str] = {}
+        for fld in dataclasses.fields(cls):
+            if fld.name == "dataset_sizes":
+                continue
+            if fld.name == "variants":
+                schema[fld.name] = "comma-separated variant names"
+            elif fld.name == "clip_k":
+                schema[fld.name] = "int or 'none'"
+            elif fld.type in ("int", int):
+                schema[fld.name] = "int"
+            elif fld.type in ("float", float):
+                schema[fld.name] = "float"
+            else:
+                schema[fld.name] = "str"
+        schema["size"] = "int (sets every dataset size)"
+        return schema
+
+    def apply_overrides(self, overrides: Mapping[str, str]) -> "BenchConfig":
+        """Apply ``key=value`` overrides in place and return ``self``.
+
+        Every key must appear in :meth:`param_schema`; unknown keys and
+        unparsable values raise :class:`ParameterError` naming the
+        offending key and the valid alternatives.
+        """
+        schema = self.param_schema()
+        for key, raw in overrides.items():
+            if key not in schema:
+                raise ParameterError(
+                    f"unknown parameter {key!r}; settable parameters: "
+                    + ", ".join(sorted(schema))
+                )
+            try:
+                if key == "size":
+                    self.dataset_sizes = {
+                        name: int(raw) for name in self.dataset_sizes
+                    }
+                elif key == "variants":
+                    self.variants = tuple(
+                        part.strip() for part in str(raw).split(",") if part.strip()
+                    )
+                elif key == "clip_k":
+                    self.clip_k = None if str(raw).lower() == "none" else int(raw)
+                else:
+                    current = getattr(self, key)
+                    if isinstance(current, bool):
+                        self.__dict__[key] = str(raw).lower() in ("1", "true", "yes")
+                    elif isinstance(current, int):
+                        self.__dict__[key] = int(raw)
+                    elif isinstance(current, float):
+                        self.__dict__[key] = float(raw)
+                    else:
+                        self.__dict__[key] = type(current)(raw) if current is not None else raw
+            except ParameterError:
+                raise
+            except (TypeError, ValueError) as exc:
+                raise ParameterError(
+                    f"cannot parse {key}={raw!r} as {schema[key]}: {exc}"
+                ) from None
+        return self

@@ -15,20 +15,77 @@ from repro.rtree.clipped import ClippedRTree
 from repro.rtree.registry import build_rtree
 
 
+class DatasetCache:
+    """Process-wide cache of generated datasets and calibrated workloads.
+
+    Generating objects and calibrating workloads is deterministic in
+    ``(dataset, size, seed)`` — so when the runner executes several
+    experiments back to back (each with its own :class:`ExperimentContext`),
+    every context shares this cache instead of regenerating identical
+    datasets.  ``hits``/``misses`` make the sharing observable in tests.
+    """
+
+    def __init__(self):
+        self.objects: Dict[Tuple[str, int, int], List[SpatialObject]] = {}
+        self.workloads: Dict[Tuple[str, int, int, int], RangeQueryWorkload] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get_objects(self, dataset: str, size: int, seed: int) -> List[SpatialObject]:
+        key = (dataset, size, seed)
+        if key in self.objects:
+            self.hits += 1
+        else:
+            self.misses += 1
+            self.objects[key] = generate(dataset, size, seed=seed)
+        return self.objects[key]
+
+    def get_workload(
+        self, dataset: str, target_results: int, size: int, seed: int
+    ) -> RangeQueryWorkload:
+        key = (dataset, target_results, size, seed)
+        if key in self.workloads:
+            self.hits += 1
+        else:
+            self.misses += 1
+            objects = self.get_objects(dataset, size, seed)
+            self.workloads[key] = RangeQueryWorkload.from_objects(
+                objects, target_results=target_results, seed=seed
+            )
+        return self.workloads[key]
+
+    def clear(self) -> None:
+        self.objects.clear()
+        self.workloads.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: The default process-wide cache shared by every ExperimentContext.
+GLOBAL_DATASET_CACHE = DatasetCache()
+
+
 class ExperimentContext:
     """Builds and caches datasets, trees, clipped trees, and workloads.
 
     Building an insertion-based R-tree is by far the most expensive step of
     the benchmark suite, so every experiment shares one context (module
     scope in the pytest-benchmark suite) and looks objects/trees up here.
+    Datasets and calibrated workloads additionally live in a process-wide
+    :class:`DatasetCache` keyed by ``(dataset, size, seed)``, so even
+    *separate* contexts (one per archived run) never regenerate an
+    identical dataset.
     """
 
-    def __init__(self, config: Optional[BenchConfig] = None):
+    def __init__(
+        self,
+        config: Optional[BenchConfig] = None,
+        dataset_cache: Optional[DatasetCache] = None,
+    ):
         self.config = config if config is not None else BenchConfig()
-        self._objects: Dict[Tuple[str, int, int], List[SpatialObject]] = {}
+        self.datasets = dataset_cache if dataset_cache is not None else GLOBAL_DATASET_CACHE
         self._trees: Dict[Tuple[str, str, int, int], RTreeBase] = {}
         self._clipped: Dict[Tuple[int, str, Optional[int], float], ClippedRTree] = {}
-        self._workloads: Dict[Tuple[str, int, int], RangeQueryWorkload] = {}
         self._snapshots: Dict[Tuple[int, object], ColumnarIndex] = {}
 
     # ------------------------------------------------------------------
@@ -37,10 +94,7 @@ class ExperimentContext:
         """Objects of ``dataset`` at the configured size (cached)."""
         size = self.config.size_of(dataset) if size is None else size
         seed = self.config.seed if seed is None else seed
-        key = (dataset, size, seed)
-        if key not in self._objects:
-            self._objects[key] = generate(dataset, size, seed=seed)
-        return self._objects[key]
+        return self.datasets.get_objects(dataset, size, seed)
 
     def tree(
         self,
@@ -96,15 +150,14 @@ class ExperimentContext:
         return self.snapshot(index) if engine == "columnar" else index
 
     def workload(self, dataset: str, target_results: int, size: Optional[int] = None) -> RangeQueryWorkload:
-        """A calibrated range-query workload over ``dataset`` (cached)."""
+        """A calibrated range-query workload over ``dataset`` (cached).
+
+        Cached process-wide by ``(dataset, target_results, size, seed)`` —
+        the seed is part of the key, so contexts with different configured
+        seeds never alias each other's calibrations.
+        """
         size = self.config.size_of(dataset) if size is None else size
-        key = (dataset, target_results, size)
-        if key not in self._workloads:
-            objects = self.objects(dataset, size)
-            self._workloads[key] = RangeQueryWorkload.from_objects(
-                objects, target_results=target_results, seed=self.config.seed
-            )
-        return self._workloads[key]
+        return self.datasets.get_workload(dataset, target_results, size, self.config.seed)
 
     def queries(self, dataset: str, target_results: int, size: Optional[int] = None):
         """A materialised list of queries for the given profile."""

@@ -2,8 +2,14 @@
 
 Gives quick access to the reproduction without writing any code:
 
-* ``list-experiments`` — show every table/figure experiment and its id;
+* ``list-experiments`` — show every registered experiment and its id;
 * ``run <experiment>`` — run one experiment and print its table(s);
+* ``bench run <experiment>|all`` — run experiments through the archived
+  harness (``--set key=value`` overrides, ``--smoke``, timestamped
+  archive folders with config + meta + result + rendered tables);
+* ``bench compare <experiment>`` — re-run under a baseline archive's
+  config and diff the metrics; exits non-zero on a regression;
+* ``bench archive [<experiment>]`` — list archived runs / show one;
 * ``datasets`` — list the available dataset generators;
 * ``build-info <dataset> <variant>`` — build one index and print tree
   statistics, dead space, and clipping summaries;
@@ -14,7 +20,9 @@ Examples::
 
     python -m repro list-experiments
     python -m repro run fig11 --queries 20 --size 1000
-    python -m repro run fig15 --engine columnar --workers 4
+    python -m repro bench run dims --set size=1600 --set build_engine=vectorized
+    python -m repro bench run all --smoke --archive-root /tmp/archive
+    python -m repro bench compare hotspot --against latest
     python -m repro build-info axo03 rstar --size 2000
     python -m repro snapshot save /tmp/snap --dataset axo03 --variant rstar --clip stairline
     python -m repro snapshot load /tmp/snap --queries 50 --workers 2
@@ -26,20 +34,24 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.bench import BenchConfig, ExperimentContext, format_table
-from repro.bench.experiments import (
-    ablations,
-    fig01_motivation,
-    fig08_bounding_example,
-    fig09_bounding_comparison,
-    fig10_clipped_dead_space,
-    fig11_range_queries,
-    fig12_update_cost,
-    fig13_storage,
-    fig14_build_time,
-    fig15_scalability,
-    joins,
-    updates,
+from repro.bench import BenchConfig, ExperimentContext, ParameterError, format_table
+from repro.bench.archive import (
+    ArchiveError,
+    default_archive_root,
+    list_runs,
+    resolve_run,
+)
+from repro.bench.registry import (
+    REGISTRY,
+    UnknownExperimentError,
+    experiment_ids,
+    get_experiment,
+)
+from repro.bench.runner import (
+    compare_experiment,
+    parse_set_overrides,
+    render_tables,
+    run_experiment,
 )
 from repro.datasets.registry import DATASET_NAMES, dataset_info
 from repro.metrics.dead_space import average_dead_space, clipped_dead_space_summary
@@ -48,67 +60,15 @@ from repro.rtree.clipped import ClippedRTree
 from repro.rtree.registry import VARIANT_NAMES, build_rtree
 
 
-def _run_fig01(context: ExperimentContext) -> str:
-    panels = fig01_motivation.run(context)
-    parts = [
-        format_table(panels["fig1a_overlap"], title="Figure 1a — overlap (%)"),
-        format_table(panels["fig1b_dead_space"], title="Figure 1b — dead space (%)"),
-        format_table(panels["fig1c_io_optimality"], title="Figure 1c — I/O optimality (%)"),
-    ]
-    return "\n\n".join(parts)
+def _render_experiment(experiment_id: str, context: ExperimentContext) -> str:
+    experiment = get_experiment(experiment_id)
+    return render_tables(experiment, experiment.build(context))
 
 
-def _run_fig11(context: ExperimentContext) -> str:
-    rows = fig11_range_queries.run(context)
-    table = fig11_range_queries.table1(rows)
-    return "\n\n".join(
-        [
-            format_table(rows, title="Figure 11 — relative leaf accesses (%)"),
-            format_table(table, title="Table I — avg. % I/O reduction (skyline/stairline)"),
-        ]
-    )
-
-
-def _run_ablations(context: ExperimentContext) -> str:
-    return "\n\n".join(
-        [
-            format_table(ablations.run_tau_sweep(context), title="τ sweep"),
-            format_table(ablations.run_scoring_comparison(context), title="scoring approximation"),
-            format_table(ablations.run_k_sweep_io(context), title="k sweep (query I/O)"),
-        ]
-    )
-
-
+#: id → renderer, registry-backed (kept for backwards compatibility).
 EXPERIMENTS: Dict[str, Callable[[ExperimentContext], str]] = {
-    "fig01": _run_fig01,
-    "fig08": lambda context: format_table(fig08_bounding_example.run(), title="Figure 8"),
-    "fig09": lambda context: format_table(fig09_bounding_comparison.run(context), title="Figure 9"),
-    "fig10": lambda context: format_table(fig10_clipped_dead_space.run(context), title="Figure 10"),
-    "fig11": _run_fig11,
-    "fig12": lambda context: format_table(fig12_update_cost.run(context), title="Figure 12"),
-    "fig13": lambda context: format_table(fig13_storage.run(context), title="Figure 13"),
-    "fig14": lambda context: format_table(fig14_build_time.run(context), title="Figure 14"),
-    "joins": lambda context: format_table(joins.run(context), title="Spatial joins (§V)"),
-    "fig15": lambda context: format_table(fig15_scalability.run(context), title="Figure 15"),
-    "updates": lambda context: format_table(
-        updates.run(context), title="Incremental updates (delta vs refreeze)"
-    ),
-    "ablations": _run_ablations,
-}
-
-_EXPERIMENT_DESCRIPTIONS = {
-    "fig01": "overlap, dead space, and I/O optimality of unclipped R-trees",
-    "fig08": "bounding methods on the paper's running example",
-    "fig09": "dead space vs representation cost of 8 bounding methods",
-    "fig10": "dead space clipped away as k varies (CSKY and CSTA)",
-    "fig11": "range-query I/O of clipped vs unclipped trees + Table I",
-    "fig12": "expected re-clips per insertion",
-    "fig13": "storage overhead of clip points",
-    "fig14": "build-time overhead of clipping",
-    "joins": "INLJ and STT spatial joins with and without clipping",
-    "fig15": "cold-disk scalability experiment",
-    "updates": "amortised write cost of delta overlay vs refreeze-per-write",
-    "ablations": "τ sweep, scoring approximation error, k sweep",
+    experiment_id: (lambda context, _id=experiment_id: _render_experiment(_id, context))
+    for experiment_id in experiment_ids()
 }
 
 
@@ -135,8 +95,8 @@ def _make_config(args: argparse.Namespace) -> BenchConfig:
 
 def _cmd_list_experiments(_: argparse.Namespace) -> int:
     rows = [
-        {"experiment": name, "description": _EXPERIMENT_DESCRIPTIONS[name]}
-        for name in EXPERIMENTS
+        {"experiment": experiment.id, "description": experiment.description}
+        for experiment in REGISTRY.values()
     ]
     print(format_table(rows, title="Available experiments"))
     return 0
@@ -158,6 +118,96 @@ def _cmd_run(args: argparse.Namespace) -> int:
     context = ExperimentContext(_make_config(args))
     print(EXPERIMENTS[args.experiment](context))
     return 0
+
+
+def _bench_root(args: argparse.Namespace):
+    return args.archive_root if args.archive_root else default_archive_root()
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    targets = (
+        list(experiment_ids())
+        if "all" in args.experiment
+        else list(args.experiment)
+    )
+    try:
+        overrides = parse_set_overrides(args.set or [])
+        for target in targets:
+            get_experiment(target)  # fail fast before running anything
+        for target in targets:
+            run = run_experiment(
+                target,
+                overrides,
+                smoke=args.smoke,
+                workers=args.workers,
+                archive_root=_bench_root(args),
+            )
+            if not args.quiet:
+                print((run.path / "table.txt").read_text().rstrip())
+            print(
+                f"archived {target} run {run.run_id} -> {run.path} "
+                f"(wall {run.metrics['wall_seconds']:.2f}s)"
+            )
+    except (UnknownExperimentError, ParameterError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    try:
+        report, _ = compare_experiment(
+            args.experiment,
+            against=args.against,
+            archive_root=_bench_root(args),
+            threshold=args.threshold / 100.0,
+            include_timing=args.include_timing,
+            current=args.current,
+        )
+    except (UnknownExperimentError, ArchiveError, ParameterError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(report.render())
+    return 1 if report.regressions else 0
+
+
+def _cmd_bench_archive(args: argparse.Namespace) -> int:
+    root = _bench_root(args)
+    if args.experiment is None:
+        rows = []
+        for experiment_id in experiment_ids():
+            runs = list_runs(root, experiment_id)
+            rows.append(
+                {
+                    "experiment": experiment_id,
+                    "runs": len(runs),
+                    "latest": runs[-1] if runs else None,
+                }
+            )
+        print(format_table(rows, title=f"Archive at {root}"))
+        return 0
+    try:
+        run = resolve_run(root, args.experiment, args.run)
+    except ArchiveError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    meta = run.meta
+    print(
+        f"{run.experiment} run {run.run_id} — {meta.get('timestamp')} "
+        f"git {str(meta.get('git_revision'))[:12]} "
+        f"wall {meta.get('wall_seconds')}s smoke={meta.get('smoke')}"
+    )
+    print((run.path / "table.txt").read_text().rstrip())
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    handlers = {
+        "run": _cmd_bench_run,
+        "compare": _cmd_bench_compare,
+        "archive": _cmd_bench_archive,
+    }
+    return handlers[args.bench_command](args)
 
 
 def _cmd_build_info(args: argparse.Namespace) -> int:
@@ -295,6 +345,84 @@ def build_parser() -> argparse.ArgumentParser:
         "across a pool over a shared mmap snapshot)",
     )
 
+    bench_parser = subparsers.add_parser(
+        "bench", help="archived-experiment harness: run / compare / archive"
+    )
+    bench_sub = bench_parser.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_sub.add_parser(
+        "run", help="run experiment(s) and write timestamped archive folders"
+    )
+    bench_run.add_argument(
+        "experiment",
+        nargs="+",
+        help="experiment id(s) (see list-experiments) or 'all'",
+    )
+    bench_run.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="override a BenchConfig parameter (repeatable); unknown keys fail",
+    )
+    bench_run.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny configuration + per-experiment smoke kwargs (seconds per experiment)",
+    )
+    bench_run.add_argument(
+        "--workers", type=int, default=None, help="worker processes for the columnar engines"
+    )
+    bench_run.add_argument(
+        "--quiet", action="store_true", help="print only the archive location, not the tables"
+    )
+
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="re-run under a baseline archive's config and diff metrics "
+        "(exit 1 on regression)",
+    )
+    bench_compare.add_argument("experiment", help="experiment id")
+    bench_compare.add_argument(
+        "--against",
+        default="latest",
+        metavar="RUN-ID",
+        help="baseline run id (default: latest archived run)",
+    )
+    bench_compare.add_argument(
+        "--current",
+        default=None,
+        metavar="RUN-DIR",
+        help="compare this existing run folder instead of re-running",
+    )
+    bench_compare.add_argument(
+        "--threshold",
+        type=float,
+        default=20.0,
+        help="regression threshold in percent (default 20)",
+    )
+    bench_compare.add_argument(
+        "--include-timing",
+        action="store_true",
+        help="also gate on timing metrics (noisy on shared runners)",
+    )
+
+    bench_archive = bench_sub.add_parser(
+        "archive", help="list archived runs, or show one run's tables"
+    )
+    bench_archive.add_argument(
+        "experiment", nargs="?", default=None, help="experiment id (omit for an overview)"
+    )
+    bench_archive.add_argument(
+        "--run", default="latest", metavar="RUN-ID", help="run id (default: latest)"
+    )
+
+    for sub in (bench_run, bench_compare, bench_archive):
+        sub.add_argument(
+            "--archive-root",
+            default=None,
+            help="archive directory (default: $REPRO_ARCHIVE_ROOT or ./archive)",
+        )
+
     info_parser = subparsers.add_parser("build-info", help="build one index and summarise it")
     info_parser.add_argument("dataset", help="dataset name, e.g. axo03")
     info_parser.add_argument("variant", help="R-tree variant, e.g. rstar")
@@ -357,6 +485,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "list-experiments": _cmd_list_experiments,
         "datasets": _cmd_datasets,
         "run": _cmd_run,
+        "bench": _cmd_bench,
         "build-info": _cmd_build_info,
         "snapshot": lambda a: (
             _cmd_snapshot_save(a) if a.snapshot_command == "save" else _cmd_snapshot_load(a)

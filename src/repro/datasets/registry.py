@@ -24,6 +24,11 @@ _FACTORIES: Dict[str, Callable[[], DatasetGenerator]] = {
     # auxiliary distributions
     "uniform02": lambda: UniformBoxGenerator(dims=2),
     "uniform03": lambda: UniformBoxGenerator(dims=3),
+    # higher-dimensional stand-ins for the d ∈ {4, 6, 8} scenario sweep:
+    # clipping's win shrinks as corners multiply (2^(d+1) per node)
+    "uniform04": lambda: UniformBoxGenerator(dims=4),
+    "uniform06": lambda: UniformBoxGenerator(dims=6),
+    "uniform08": lambda: UniformBoxGenerator(dims=8),
     "cluster02": lambda: GaussianClusterGenerator(dims=2),
 }
 
