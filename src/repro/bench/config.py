@@ -84,6 +84,10 @@ class BenchConfig:
     #: >1 shards batches/joins across a pool over a shared mmap snapshot,
     #: see repro.engine.parallel)
     workers: int = 1
+    #: requests driven through the ``serve`` experiment's closed loop
+    serve_requests: int = 400
+    #: maximum in-flight requests in the ``serve`` experiment
+    serve_concurrency: int = 32
     #: dataset size used by the Figure 15 scalability experiment
     scalability_size: int = 5000
     #: objects per side of the spatial-join experiment

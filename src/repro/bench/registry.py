@@ -34,6 +34,7 @@ from repro.bench.experiments import (
     hotspot,
     joins,
     mixed_workload,
+    serving,
     updates,
 )
 from repro.bench.harness import ExperimentContext
@@ -242,6 +243,13 @@ register(Experiment(
     build=_single_table("mixed", mixed_workload.run),
     titles={"mixed": "Mixed read/write workload — ops/s by write fraction"},
     smoke_kwargs={"write_fractions": (0.2,), "total_ops": 40},
+))
+register(Experiment(
+    id="serve",
+    description="online serving under seeded chaos: shed/retry/breaker counters",
+    build=_single_table("serve", serving.run),
+    titles={"serve": "Online serving under chaos (deterministic counters)"},
+    smoke_kwargs={"requests": 120},
 ))
 register(Experiment(
     id="hotspot",

@@ -14,7 +14,9 @@ Gives quick access to the reproduction without writing any code:
 * ``build-info <dataset> <variant>`` — build one index and print tree
   statistics, dead space, and clipping summaries;
 * ``snapshot save <dir>`` / ``snapshot load <dir>`` — persist a frozen
-  columnar snapshot as mmap-able ``.npy`` files and open it back.
+  columnar snapshot as mmap-able ``.npy`` files and open it back;
+* ``serve`` — build an index and drive the fault-tolerant serving layer
+  through the seeded chaos scenario, printing the robustness report.
 
 Examples::
 
@@ -26,6 +28,7 @@ Examples::
     python -m repro build-info axo03 rstar --size 2000
     python -m repro snapshot save /tmp/snap --dataset axo03 --variant rstar --clip stairline
     python -m repro snapshot load /tmp/snap --queries 50 --workers 2
+    python -m repro serve --dataset par02 --requests 200 --chaos-seed 11
 """
 
 from __future__ import annotations
@@ -307,6 +310,54 @@ def _cmd_snapshot_load(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.dataset not in DATASET_NAMES:
+        print(f"unknown dataset {args.dataset!r}", file=sys.stderr)
+        return 2
+    if args.variant not in VARIANT_NAMES:
+        print(f"unknown variant {args.variant!r}; known: {VARIANT_NAMES}", file=sys.stderr)
+        return 2
+    from repro.engine import SnapshotManager
+    from repro.serve.bench import report_row, run_serve_scenario
+
+    config = _make_config(args)
+    objects = dataset_info(args.dataset).generate(config.size_of(args.dataset), seed=config.seed)
+    index = build_rtree(args.variant, objects, max_entries=config.max_entries)
+    if args.clip != "none":
+        index = ClippedRTree.wrap(index, method=args.clip, engine=config.build_engine)
+    manager = SnapshotManager(index, update_engine="delta")
+    report, responses = run_serve_scenario(
+        manager,
+        n_requests=args.requests,
+        seed=args.chaos_seed,
+        concurrency=args.concurrency,
+        workers=args.workers or 1,
+        admission_rate=args.admission_rate,
+    )
+    row = report_row(report, dataset=args.dataset, variant=args.variant)
+    print(
+        format_table(
+            [row],
+            title=f"chaos serving over {args.variant}/{args.dataset} "
+            f"({len(objects)} objects, seed {args.chaos_seed})",
+        )
+    )
+    print(
+        f"robustness: {report['stale_served']} stale-stamped answers, "
+        f"{report['degraded_batches']} degraded batches, "
+        f"{report['deadline_exceeded']} deadline misses, "
+        f"{report['pool_rebuilds']} pool rebuilds, "
+        f"{report['serial_fallbacks']} serial fallbacks, "
+        f"breaker {report['breaker_state']}"
+    )
+    explicit = sum(1 for r in responses if r.status in ("ok", "shed"))
+    print(
+        f"accounting: {len(responses)} responses, {explicit} explicit "
+        f"(ok/shed), {report['errors']} errors, wall {report['elapsed_seconds']:.2f}s"
+    )
+    return 0 if report["errors"] == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -465,7 +516,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sanity queries (>1 uses the shared snapshot)",
     )
 
-    for sub in (run_parser, info_parser, save_parser):
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="drive the coalescing server through the seeded chaos scenario",
+    )
+    serve_parser.add_argument("--dataset", default="par02", help="dataset name (default par02)")
+    serve_parser.add_argument("--variant", default="rstar", help="R-tree variant (default rstar)")
+    serve_parser.add_argument(
+        "--clip",
+        choices=("none", "skyline", "stairline"),
+        default="stairline",
+        help="clip the tree before serving (default stairline)",
+    )
+    serve_parser.add_argument(
+        "--requests", type=int, default=200, help="requests in the closed-loop stream"
+    )
+    serve_parser.add_argument(
+        "--concurrency", type=int, default=32, help="closed-loop in-flight cap"
+    )
+    serve_parser.add_argument(
+        "--admission-rate",
+        type=float,
+        default=80.0,
+        help="token-bucket refill rate in requests per logical second",
+    )
+    serve_parser.add_argument(
+        "--chaos-seed", type=int, default=11, help="seed for the deterministic fault plan"
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for read batches (>1 engages the self-healing pool)",
+    )
+
+    for sub in (run_parser, info_parser, save_parser, serve_parser):
         sub.add_argument("--size", type=int, default=None, help="objects per dataset")
         sub.add_argument("--queries", type=int, default=None, help="queries per profile")
         sub.add_argument("--max-entries", type=int, default=None, help="node capacity")
@@ -490,6 +575,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "snapshot": lambda a: (
             _cmd_snapshot_save(a) if a.snapshot_command == "save" else _cmd_snapshot_load(a)
         ),
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

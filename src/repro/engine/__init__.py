@@ -50,7 +50,12 @@ from repro.engine.columnar import (
     StaleSnapshotError,
     resolve_stale,
 )
-from repro.engine.delta import DeltaOverlay, SnapshotManager, overlay_join
+from repro.engine.delta import (
+    CompactionInProgressError,
+    DeltaOverlay,
+    SnapshotManager,
+    overlay_join,
+)
 from repro.engine.executor import knn_batch, range_query_batch
 from repro.engine.incremental_clip import reclip_nodes, reclip_nodes_for_results
 from repro.engine.join_exec import inlj_batch, stt_batch
@@ -60,12 +65,14 @@ from repro.engine.snapshot_io import (
     SnapshotFormatError,
     load_snapshot,
     save_snapshot,
+    set_load_fault_hook,
 )
 
 __all__ = [
     "FORMAT_VERSION",
     "STALE_POLICIES",
     "ColumnarIndex",
+    "CompactionInProgressError",
     "DeltaOverlay",
     "ParallelExecutor",
     "SnapshotManager",
@@ -84,5 +91,6 @@ __all__ = [
     "reclip_nodes_for_results",
     "resolve_stale",
     "save_snapshot",
+    "set_load_fault_hook",
     "stt_batch",
 ]

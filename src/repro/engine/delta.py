@@ -38,6 +38,7 @@ compaction.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -63,6 +64,18 @@ ObjectKey = Tuple[int, Tuple[float, ...], Tuple[float, ...]]
 def object_key(obj: SpatialObject) -> ObjectKey:
     """The overlay's identity key for ``obj`` (id + exact rectangle)."""
     return (obj.oid, obj.rect.low, obj.rect.high)
+
+
+class CompactionInProgressError(RuntimeError):
+    """A write raced a running :meth:`SnapshotManager.compact`.
+
+    Raised for operations that cannot be staged safely (``delete``, a
+    reentrant ``compact``) — the caller should retry after the swap.
+    Concurrent *inserts* are never refused: they are staged and replayed
+    into the fresh overlay when the compaction commits (or back into the
+    current overlay when it fails), so a write accepted by the manager is
+    never silently dropped.
+    """
 
 
 class DeltaOverlay:
@@ -210,6 +223,23 @@ class SnapshotManager:
     :class:`~repro.engine.columnar.ColumnarIndex` (tree-backed snapshots
     unwrap to their source; source-free STR snapshots compact by
     rebuilding through :func:`repro.engine.builder.build_columnar_str`).
+
+    Concurrency contract (what a background-compacting server relies
+    on): writes and :meth:`compact` may race from different threads.
+    While a compaction is running, an ``insert`` is *staged* and
+    replayed — atomically with the snapshot swap — into the overlay that
+    ends up current (the fresh one on success, the old one on failure),
+    so it either lands in the new overlay or survives the crash; it is
+    never silently dropped.  A concurrent ``delete`` or a reentrant
+    ``compact`` raises :class:`CompactionInProgressError` instead (a
+    delete staged against a base being rebuilt could target either the
+    old or new snapshot, so the manager refuses rather than guess).
+    ``compaction_fault_hook`` (chaos testing) is an optional callable
+    invoked once after a compaction has started but *before* the source
+    is mutated; raising from it models a background-rebuild crash —
+    the published view is untouched and staged inserts are recovered.
+    Readers are lock-free throughout: they grab the published
+    ``(snapshot, overlay)`` tuple once per batch.
     """
 
     UPDATE_ENGINES = ("refreeze", "delta")
@@ -249,6 +279,11 @@ class SnapshotManager:
         self.epoch = 0
         self.total_compactions = 0
         self.total_reclipped_nodes = 0
+        #: chaos hook: called once per compaction, pre-mutation (see class doc).
+        self.compaction_fault_hook = None
+        self._write_lock = threading.Lock()
+        self._compacting = False
+        self._staged_inserts: List[SpatialObject] = []
         self._view: Tuple[ColumnarIndex, DeltaOverlay] = (
             snapshot,
             DeltaOverlay(snapshot, max_entries=overlay_max_entries),
@@ -298,18 +333,52 @@ class SnapshotManager:
     # ------------------------------------------------------------------
 
     def insert(self, obj: SpatialObject) -> None:
-        """Insert one object through the configured update engine."""
+        """Insert one object through the configured update engine.
+
+        Safe against a concurrent :meth:`compact`: mid-compaction
+        inserts are staged and replayed into whichever overlay is
+        current when the compaction finishes (see the class doc).
+        """
         if self.update_engine == "refreeze":
-            self._refreeze_write(obj, delete=False)
+            with self._write_lock:
+                if self._compacting:
+                    raise CompactionInProgressError(
+                        "refreeze write raced a compaction; retry after the swap"
+                    )
+                self._refreeze_write(obj, delete=False)
             return
-        self.overlay.insert(obj)
+        with self._write_lock:
+            if self._compacting:
+                if obj.dims != self._view[0].dims:
+                    raise ValueError(
+                        f"object has {obj.dims} dims, manager expects "
+                        f"{self._view[0].dims}"
+                    )
+                self._staged_inserts.append(obj)
+                return
+            self.overlay.insert(obj)
         self._maybe_compact()
 
     def delete(self, obj: SpatialObject) -> bool:
-        """Delete one object; False when it is not (visibly) indexed."""
+        """Delete one object; False when it is not (visibly) indexed.
+
+        Raises :class:`CompactionInProgressError` while a compaction is
+        running — a delete cannot be staged without knowing which base
+        snapshot it will apply to.
+        """
         if self.update_engine == "refreeze":
-            return self._refreeze_write(obj, delete=True)
-        found = self.overlay.delete(obj)
+            with self._write_lock:
+                if self._compacting:
+                    raise CompactionInProgressError(
+                        "refreeze write raced a compaction; retry after the swap"
+                    )
+                return self._refreeze_write(obj, delete=True)
+        with self._write_lock:
+            if self._compacting:
+                raise CompactionInProgressError(
+                    "delete during compaction; retry after the swap"
+                )
+            found = self.overlay.delete(obj)
         if found:
             self._maybe_compact()
         return found
@@ -371,38 +440,67 @@ class SnapshotManager:
         and freeze.  Source-free snapshots STR-rebuild from the live
         object set.  A no-op (returning zeroed stats) when nothing is
         pending.
+
+        Thread-safe against concurrent writes: inserts accepted while
+        this runs are staged and replayed — under the write lock, so
+        atomically with the swap — into the overlay that is current when
+        it finishes; a raced ``delete`` or reentrant ``compact`` raises
+        :class:`CompactionInProgressError`.  If the rebuild crashes
+        (e.g. ``compaction_fault_hook``), the published view is
+        unchanged and the staged inserts land back in the old overlay.
         """
-        snapshot, overlay = self._view
-        stats = CompactionStats()
-        if overlay.is_empty:
-            return stats
-        start = time.perf_counter()
-        deletes = overlay.deleted_objects()
-        inserts = list(overlay.tree.objects())
-        source = self._source
-        if source is None:
-            live = overlay.filter_base_hits(snapshot.objects)
-            live.extend(inserts)
-            fresh = self._rebuild_source_free(live)
-        else:
-            clipped = source if isinstance(source, ClippedRTree) else None
-            tree = clipped.tree if clipped is not None else source
-            results = []
-            for obj in deletes:
-                results.append(tree.delete(obj))
-            for obj in inserts:
-                results.append(tree.insert(obj))
-            if clipped is not None:
-                stats.reclipped_nodes = reclip_nodes_for_results(
-                    clipped, results, engine=self.clip_engine
+        with self._write_lock:
+            if self._compacting:
+                raise CompactionInProgressError(
+                    "compact() is already running; concurrent inserts are staged"
                 )
-            fresh = ColumnarIndex.from_tree(source)
-        stats.applied_inserts = len(inserts)
-        stats.applied_deletes = len(deletes)
-        stats.seconds = time.perf_counter() - start
-        self.total_compactions += 1
-        self.total_reclipped_nodes += stats.reclipped_nodes
-        self._install(fresh)
+            self._compacting = True
+            snapshot, overlay = self._view
+        stats = CompactionStats()
+        fresh: Optional[ColumnarIndex] = None
+        try:
+            if not overlay.is_empty:
+                start = time.perf_counter()
+                hook = self.compaction_fault_hook
+                if hook is not None:
+                    # Pre-mutation crash point: failing here leaves the
+                    # source tree untouched, so a retry re-applies the
+                    # full (still-buffered) delta exactly once.
+                    hook()
+                deletes = overlay.deleted_objects()
+                inserts = list(overlay.tree.objects())
+                source = self._source
+                if source is None:
+                    live = overlay.filter_base_hits(snapshot.objects)
+                    live.extend(inserts)
+                    fresh = self._rebuild_source_free(live)
+                else:
+                    clipped = source if isinstance(source, ClippedRTree) else None
+                    tree = clipped.tree if clipped is not None else source
+                    results = []
+                    for obj in deletes:
+                        results.append(tree.delete(obj))
+                    for obj in inserts:
+                        results.append(tree.insert(obj))
+                    if clipped is not None:
+                        stats.reclipped_nodes = reclip_nodes_for_results(
+                            clipped, results, engine=self.clip_engine
+                        )
+                    fresh = ColumnarIndex.from_tree(source)
+                stats.applied_inserts = len(inserts)
+                stats.applied_deletes = len(deletes)
+                stats.seconds = time.perf_counter() - start
+        finally:
+            with self._write_lock:
+                if fresh is not None:
+                    self.total_compactions += 1
+                    self.total_reclipped_nodes += stats.reclipped_nodes
+                    self._install(fresh)
+                staged, self._staged_inserts = self._staged_inserts, []
+                current_overlay = self._view[1]
+                for obj in staged:
+                    current_overlay.insert(obj)
+                self._compacting = False
         return stats
 
     # ------------------------------------------------------------------

@@ -33,6 +33,7 @@ import os
 import shutil
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -62,6 +63,11 @@ from repro.storage.stats import IOStats
 #: frontier — and therefore merged ordering and accounting — is identical
 #: for every pool size.
 STT_SHIP_THRESHOLD = 64
+
+#: Fault-injection site consulted once per shard submission when a
+#: ``fault_plan`` is attached (a literal, not an import: the engine never
+#: depends on :mod:`repro.serve`; any object with ``fires(site)`` works).
+WORKER_KILL_SITE = "parallel.worker_kill"
 
 _StatsTriple = Tuple[int, int, int]
 
@@ -125,6 +131,16 @@ def _stt_task(
     return stt_shard(left, right, nodes_a, nodes_b, collect_pairs)
 
 
+def _kill_worker_task() -> None:  # pragma: no cover - dies by design
+    """Chaos task: hard-kill the worker process mid-batch.
+
+    ``os._exit`` (not ``sys.exit``) so no cleanup runs — exactly what a
+    SIGKILLed or OOM-killed worker looks like to the coordinator: the
+    pool breaks with :class:`BrokenProcessPool`.
+    """
+    os._exit(17)
+
+
 def default_workers() -> int:
     """Usable CPU count (affinity-aware where the platform reports it)."""
     try:
@@ -147,6 +163,21 @@ class ParallelExecutor:
     task wait is bounded by ``task_timeout`` seconds — a hung worker
     surfaces as a ``TimeoutError`` instead of a stalled job.  Use as a
     context manager, or call :meth:`close` when done.
+
+    Self-healing: a worker death (OOM kill, segfault, chaos injection)
+    surfaces as :class:`BrokenProcessPool`; the executor discards the
+    broken pool, rebuilds it up to ``pool_rebuild_retries`` times, and
+    re-runs *only the unfinished shards* — shards that completed before
+    the break keep their results, so the merged output stays bit-identical
+    to a serial run.  When rebuilds are exhausted the pending shards run
+    serially in the coordinator (same task functions, same snapshot
+    path), degrading throughput but never correctness.
+    ``pool_rebuilds``/``serial_fallbacks`` count the recoveries.
+
+    ``fault_plan`` (chaos testing) is any object with a
+    ``fires(site) -> Optional[spec]`` method; it is consulted once per
+    shard submission at :data:`WORKER_KILL_SITE`, and a firing spec
+    replaces that shard's task with a worker-killing one.
     """
 
     def __init__(
@@ -156,10 +187,16 @@ class ParallelExecutor:
         snapshot_dir: Optional[Union[str, Path]] = None,
         chunks_per_worker: int = 4,
         task_timeout: Optional[float] = 600.0,
+        pool_rebuild_retries: int = 2,
+        fault_plan=None,
     ):
         self.workers = default_workers() if workers is None else max(1, int(workers))
         self.chunks_per_worker = max(1, int(chunks_per_worker))
         self.task_timeout = task_timeout
+        self.pool_rebuild_retries = max(0, int(pool_rebuild_retries))
+        self.fault_plan = fault_plan
+        self.pool_rebuilds = 0
+        self.serial_fallbacks = 0
         self._owned_dirs: List[Path] = []
         self._pool: Optional[ProcessPoolExecutor] = None
         self.snapshot, self.path = self._resolve(snapshot, snapshot_dir)
@@ -211,12 +248,67 @@ class ParallelExecutor:
             if edges[i] < edges[i + 1]
         ]
 
-    def _run_shards(self, fn, args_per_shard):
-        """Submit one task per shard; yield results in shard order."""
-        pool = self._ensure_pool()
-        futures = [pool.submit(fn, *args) for args in args_per_shard]
-        for future in futures:
-            yield future.result(timeout=self.task_timeout)
+    def _discard_pool(self) -> None:
+        """Drop a (presumed broken) pool without waiting on its corpses."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _submit(self, pool: ProcessPoolExecutor, fn, args):
+        plan = self.fault_plan
+        if plan is not None and plan.fires(WORKER_KILL_SITE) is not None:
+            return pool.submit(_kill_worker_task)
+        return pool.submit(fn, *args)
+
+    def _run_shards(self, fn, args_per_shard) -> List:
+        """Run one task per shard; results in shard order, self-healing.
+
+        On :class:`BrokenProcessPool` the broken pool is discarded and
+        only the shards without a result are resubmitted (results
+        completed before the break are kept — recovery output is
+        bit-identical to an undisturbed run).  After
+        ``pool_rebuild_retries`` rebuilds, the remaining shards run
+        serially in this process via the same task functions.
+        """
+        shard_args = list(args_per_shard)
+        results: List = [None] * len(shard_args)
+        done = [False] * len(shard_args)
+        pending = list(range(len(shard_args)))
+        rebuilds_left = self.pool_rebuild_retries
+        while pending:
+            futures: List[Tuple[int, object]] = []
+            broken = False
+            try:
+                pool = self._ensure_pool()
+                for index in pending:
+                    futures.append((index, self._submit(pool, fn, shard_args[index])))
+            except BrokenProcessPool:
+                broken = True
+            for index, future in futures:
+                try:
+                    results[index] = future.result(timeout=self.task_timeout)
+                    done[index] = True
+                except BrokenProcessPool:
+                    broken = True
+            pending = [index for index in pending if not done[index]]
+            if not pending:
+                break
+            if not broken:  # pragma: no cover - future.result raised non-pool error
+                raise RuntimeError("shards pending without a broken pool")
+            self._discard_pool()
+            if rebuilds_left > 0:
+                rebuilds_left -= 1
+                self.pool_rebuilds += 1
+                continue
+            # Rebuild budget exhausted: finish the unfinished shards
+            # in-process.  The task functions only need the snapshot
+            # path, which the coordinator can open like any worker.
+            self.serial_fallbacks += 1
+            for index in pending:
+                results[index] = fn(*shard_args[index])
+                done[index] = True
+            pending = []
+        return results
 
     # ------------------------------------------------------------------
     # queries
@@ -415,13 +507,23 @@ class ParallelExecutor:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the pool down and remove any temp snapshot directories."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
-        for directory in self._owned_dirs:
-            shutil.rmtree(directory, ignore_errors=True)
+        """Shut the pool down and remove any temp snapshot directories.
+
+        Idempotent, and safe on a half-constructed executor (``__init__``
+        may raise before ``_pool``/``_owned_dirs`` exist) and during
+        interpreter shutdown (module globals such as :mod:`shutil` may
+        already be ``None``'d by the time ``__del__`` runs).
+        """
+        pool = getattr(self, "_pool", None)
+        self._pool = None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        dirs = getattr(self, "_owned_dirs", None) or []
         self._owned_dirs = []
+        rmtree = getattr(shutil, "rmtree", None) if shutil is not None else None
+        if rmtree is not None:
+            for directory in dirs:
+                rmtree(directory, ignore_errors=True)
 
     def __enter__(self) -> "ParallelExecutor":
         return self
@@ -430,9 +532,12 @@ class ParallelExecutor:
         self.close()
 
     def __del__(self):  # pragma: no cover - best-effort cleanup
+        # BaseException: at interpreter shutdown, arbitrarily torn-down
+        # state can surface as anything (including SystemExit-ish
+        # errors); a destructor must never propagate.
         try:
             self.close()
-        except Exception:
+        except BaseException:
             pass
 
     def __repr__(self) -> str:

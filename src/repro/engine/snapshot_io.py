@@ -24,6 +24,18 @@ round-tripped Python object:
   :class:`SpatialObject` equality is defined on exactly that pair.
   Objects are materialised lazily on first access, so a worker that
   only counts hits never builds a single Python object.
+
+Durability (format version 2): a save is *crash-atomic at every byte*.
+Array files land in a content-addressed generation directory
+(``g<fingerprint[:12]>/``) so an in-flight save never touches the bytes
+a committed manifest points at; every array file, the manifest, and the
+enclosing directories are fsynced; and the ``os.replace`` of the
+manifest is the single commit point — a process killed at any offset of
+the write sequence leaves the directory loading either the old snapshot
+or the new one, never garbage (``tests/test_snapshot_durability.py``
+kills a simulated save at every byte offset to prove it).  Superseded
+generations are garbage-collected strictly *after* the commit.  Version
+1 directories (arrays at the top level, no fsync guarantees) still load.
 """
 
 from __future__ import annotations
@@ -31,8 +43,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
+import shutil
 from pathlib import Path
-from typing import Dict, Iterator, Union
+from typing import Callable, Dict, Iterator, Optional, Union
 
 import numpy as np
 
@@ -41,10 +55,16 @@ from repro.geometry.objects import SpatialObject
 from repro.geometry.rect import Rect
 
 #: On-disk format version; bump on any incompatible layout change.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Format versions :func:`load_snapshot` can read.
+_COMPAT_VERSIONS = (1, 2)
 
 #: Manifest file name inside a snapshot directory.
 MANIFEST_NAME = "manifest.json"
+
+#: Generation-directory names this module owns (and may GC).
+_GENERATION_RE = re.compile(r"^g[0-9a-f]{12}$")
 
 #: Snapshot arrays persisted verbatim: file stem → ColumnarIndex attribute.
 _CORE_ARRAYS = {
@@ -133,15 +153,68 @@ def _fingerprint(arrays: Dict[str, np.ndarray]) -> str:
     return digest.hexdigest()
 
 
+def _fsync_path(path: Union[str, Path]) -> None:
+    """fsync one file (or directory) so its bytes survive a crash."""
+    fd = os.open(str(path), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _committed_manifest(directory: Path) -> Optional[dict]:
+    """The directory's committed manifest, or None when absent/corrupt."""
+    path = directory / MANIFEST_NAME
+    if not path.is_file():
+        return None
+    try:
+        manifest = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    return manifest if isinstance(manifest, dict) else None
+
+
+def _gc_stale_generations(directory: Path, keep: str, array_names) -> None:
+    """Remove superseded generation dirs and stale v1 top-level arrays.
+
+    Only called after the new manifest is committed, so nothing a
+    loadable manifest references is ever deleted.
+    """
+    for child in directory.iterdir():
+        if child.is_dir() and _GENERATION_RE.match(child.name) and child.name != keep:
+            shutil.rmtree(child, ignore_errors=True)
+        elif (
+            child.is_file()
+            and child.suffix == ".npy"
+            and child.stem in array_names
+        ):
+            try:
+                child.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+
 def save_snapshot(index: ColumnarIndex, directory: Union[str, Path]) -> Path:
     """Persist ``index`` into ``directory`` (created if needed).
 
-    Every array lands in its own ``.npy`` file; ``manifest.json`` records
-    the format version, dims, per-array dtype/shape, and a content
-    fingerprint.  The derived ``node_bounds``/``node_levels`` caches are
-    forced first (:meth:`ColumnarIndex.precompute_derived`) so loaded
-    snapshots — and every worker process that opens one — never recompute
-    them.  Returns the directory path.
+    Every array lands in its own ``.npy`` file inside a content-addressed
+    generation subdirectory; ``manifest.json`` records the format
+    version, dims, per-array dtype/shape, the generation (``data_dir``),
+    and a content fingerprint.  The derived ``node_bounds``/
+    ``node_levels`` caches are forced first
+    (:meth:`ColumnarIndex.precompute_derived`) so loaded snapshots — and
+    every worker process that opens one — never recompute them.
+
+    The save is crash-atomic: array files are written into a fresh
+    generation directory (never the one a committed manifest points at)
+    and fsynced, the manifest is fsynced and ``os.replace``\\ d into
+    place as the single commit point, and the parent directory is
+    fsynced so the rename itself is durable.  A kill at any byte offset
+    of this sequence leaves the directory loading the previous snapshot;
+    after the rename it loads the new one.  Old generations are removed
+    only after the commit.  Re-saving a snapshot whose fingerprint
+    already matches the committed manifest is a no-op (the bytes on disk
+    are already the requested state).  Returns the directory path.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -172,8 +245,31 @@ def save_snapshot(index: ColumnarIndex, directory: Union[str, Path]) -> Path:
     arrays["object_lows"] = object_lows
     arrays["object_highs"] = object_highs
 
+    fingerprint = _fingerprint(arrays)
+    generation = f"g{fingerprint[:12]}"
+
+    # Idempotent re-save: when the committed manifest already records this
+    # exact content (and its generation files exist), writing again would
+    # overwrite the very bytes a committed manifest points at — skip.
+    committed = _committed_manifest(directory)
+    if (
+        committed is not None
+        and committed.get("fingerprint") == fingerprint
+        and committed.get("format_version") == FORMAT_VERSION
+        and committed.get("data_dir") == generation
+        and all(
+            (directory / generation / f"{name}.npy").is_file() for name in arrays
+        )
+    ):
+        return directory
+
+    data_path = directory / generation
+    data_path.mkdir(exist_ok=True)
     for name, array in arrays.items():
-        np.save(directory / f"{name}.npy", array, allow_pickle=False)
+        target = data_path / f"{name}.npy"
+        np.save(target, array, allow_pickle=False)
+        _fsync_path(target)
+    _fsync_path(data_path)
 
     manifest = {
         "format_version": FORMAT_VERSION,
@@ -192,13 +288,21 @@ def save_snapshot(index: ColumnarIndex, directory: Union[str, Path]) -> Path:
             "type": type(index.source).__name__ if index.source is not None else None,
             "version": index.source_version,
         },
-        "fingerprint": _fingerprint(arrays),
+        "data_dir": generation,
+        "fingerprint": fingerprint,
     }
-    # Write-then-rename so a crash mid-save leaves no half-valid manifest:
-    # a directory is a snapshot exactly when its manifest parses.
+    # fsync-then-rename: the manifest replace is the commit point — a
+    # directory serves a snapshot exactly when its manifest parses, and
+    # the manifest only ever points at a fully written, fsynced
+    # generation.
     tmp_path = directory / (MANIFEST_NAME + ".tmp")
-    tmp_path.write_text(json.dumps(manifest, indent=2) + "\n")
+    with open(tmp_path, "w") as handle:
+        handle.write(json.dumps(manifest, indent=2) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp_path, directory / MANIFEST_NAME)
+    _fsync_path(directory)
+    _gc_stale_generations(directory, generation, set(arrays))
     return directory
 
 
@@ -213,15 +317,33 @@ def read_manifest(directory: Union[str, Path]) -> dict:
     except (OSError, ValueError) as exc:
         raise SnapshotFormatError(f"unreadable snapshot manifest {manifest_path}: {exc}")
     version = manifest.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in _COMPAT_VERSIONS:
         raise SnapshotFormatError(
             f"snapshot format version {version!r} at {directory} is not supported "
-            f"(this build reads version {FORMAT_VERSION})"
+            f"(this build reads versions {_COMPAT_VERSIONS})"
         )
     for key in ("dims", "arrays"):
         if key not in manifest:
             raise SnapshotFormatError(f"snapshot manifest {manifest_path} lacks {key!r}")
     return manifest
+
+
+#: Test/chaos hook consulted at the top of :func:`load_snapshot` — a
+#: callable receiving the directory path; raising simulates a load-time
+#: I/O failure.  Installed via :func:`set_load_fault_hook` (e.g. by
+#: ``repro.serve.faults.FaultPlan.install``); this module never imports
+#: the serving layer.
+_LOAD_FAULT_HOOK: Optional[Callable[[str], None]] = None
+
+
+def set_load_fault_hook(
+    hook: Optional[Callable[[str], None]],
+) -> Optional[Callable[[str], None]]:
+    """Install (or clear, with None) the load fault hook; returns the old one."""
+    global _LOAD_FAULT_HOOK
+    previous = _LOAD_FAULT_HOOK
+    _LOAD_FAULT_HOOK = hook
+    return previous
 
 
 def _load_array(
@@ -256,6 +378,9 @@ def load_snapshot(directory: Union[str, Path], mmap: bool = True) -> ColumnarInd
     with the manifest.
     """
     directory = Path(directory)
+    hook = _LOAD_FAULT_HOOK
+    if hook is not None:
+        hook(str(directory))
     manifest = read_manifest(directory)
     specs = manifest["arrays"]
     expected = set(_CORE_ARRAYS) | set(_EXTRA_ARRAYS)
@@ -265,8 +390,11 @@ def load_snapshot(directory: Union[str, Path], mmap: bool = True) -> ColumnarInd
             f"snapshot manifest {directory / MANIFEST_NAME} lacks arrays: "
             f"{sorted(missing)}"
         )
+    # Version 2 manifests point at a generation subdirectory; version 1
+    # kept arrays at the top level (data_dir absent → the directory).
+    data_path = directory / manifest.get("data_dir", "")
     arrays = {
-        name: _load_array(directory, name, specs[name], mmap) for name in sorted(expected)
+        name: _load_array(data_path, name, specs[name], mmap) for name in sorted(expected)
     }
 
     snapshot = ColumnarIndex(

@@ -1,0 +1,824 @@
+"""The coalescing async serving loop over a live :class:`SnapshotManager`.
+
+:class:`CoalescingServer` is the online layer ROADMAP item 1 asks for:
+concurrent range/kNN/join/write requests are admitted synchronously
+(token bucket — over-capacity requests get an explicit ``shed`` response
+instead of joining an unbounded queue), coalesced per kind into
+micro-batches inside a small time window, and executed through the
+columnar batch engines (`range_query_batch`/`knn_batch`/`overlay_join`)
+against the manager's live ``(snapshot, overlay)`` view.
+
+The robustness kernel wraps every batch execution:
+
+* **deadlines** — each request carries a :class:`~repro.serve.resilience.
+  Deadline`; expired requests are answered ``deadline`` (never silently
+  served late), checked both before execution and before delivery;
+* **retries** — transient faults (injected chaos, a broken worker pool,
+  a truncated snapshot load, an I/O error, a raced compaction) are
+  absorbed by :class:`~repro.serve.resilience.RetryPolicy` with
+  exponential backoff and deterministic seeded jitter;
+* **circuit breaker** — consecutive failures trip it open, and open
+  batches take the *degraded* path instead of failing hard: batch
+  windows shrink (``degraded_batch_window``), queries are served
+  serially from the frozen base snapshot via the existing
+  ``resolve_stale(..., "serve")`` policy with ``stale=True`` stamped in
+  the response metadata whenever the answer may miss pending writes,
+  and the :class:`~repro.engine.parallel.ParallelExecutor` is bypassed;
+* **self-healing parallelism** — when ``workers > 1`` and the overlay is
+  clean, query batches run through a ``ParallelExecutor`` (rebuilt
+  whenever the manager's epoch moves); its pool-rebuild/serial-fallback
+  recovery and the snapshot-load validation both thread through the
+  attached :class:`~repro.serve.faults.FaultPlan`.
+
+Determinism: admission is decided *synchronously at submit time* in
+issue order, so with a :class:`~repro.serve.resilience.LogicalClock`
+advanced only by the load generator, shed counts are a pure function of
+the request sequence — likewise retry and breaker-trip counts under a
+seeded plan (batch executions are single-flighted through one gate, so
+a fault burst is absorbed by one batch's retry loop).  That is what lets
+``repro bench compare serve`` gate exact counters while p50/p99/QPS
+(measured on the wall clock) merely report.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine import (
+    CompactionInProgressError,
+    ParallelExecutor,
+    SnapshotFormatError,
+    SnapshotManager,
+    load_snapshot,
+    resolve_stale,
+)
+from repro.engine.delta import overlay_join
+from repro.engine.executor import knn_batch as base_knn_batch
+from repro.engine.executor import range_query_batch as base_range_query_batch
+from repro.serve.faults import BATCH_FAULT, REQUEST_LATENCY, InjectedFault, TransientFault
+from repro.serve.metrics import ServerMetrics
+from repro.serve.resilience import (
+    CircuitBreaker,
+    Clock,
+    Deadline,
+    MonotonicClock,
+    RetryPolicy,
+    TokenBucket,
+)
+
+try:  # pragma: no cover - exercised only where process pools exist
+    from concurrent.futures.process import BrokenProcessPool
+except ImportError:  # pragma: no cover
+    class BrokenProcessPool(RuntimeError):
+        """Placeholder on platforms without process pools."""
+
+
+#: Exceptions the retry policy absorbs (everything else is a hard error).
+RETRYABLE_EXCEPTIONS = (
+    TransientFault,
+    BrokenProcessPool,
+    SnapshotFormatError,
+    CompactionInProgressError,
+    concurrent.futures.TimeoutError,
+    TimeoutError,
+    OSError,
+)
+
+#: Request kinds the server understands.
+KINDS = ("range", "knn", "join", "insert", "delete", "compact")
+
+#: Kinds that answer from the index (eligible for stale/degraded serving).
+QUERY_KINDS = ("range", "knn", "join")
+
+
+@dataclass
+class Request:
+    """One client request.
+
+    ``payload`` by kind: ``range`` → a :class:`~repro.geometry.rect.Rect`;
+    ``knn`` → ``(point, k)``; ``join`` → a dict with ``algorithm`` plus
+    ``probes`` (INLJ) or ``other`` (STT); ``insert``/``delete`` → a
+    :class:`~repro.geometry.objects.SpatialObject`; ``compact`` → None.
+    ``deadline_s`` overrides the server's default deadline (None → use
+    the default; ``float("inf")`` effectively disables it).
+    """
+
+    kind: str
+    payload: Any = None
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown request kind {self.kind!r}; known: {KINDS}")
+
+    # convenience constructors --------------------------------------------
+    @classmethod
+    def range(cls, rect, deadline_s: Optional[float] = None) -> "Request":
+        return cls("range", rect, deadline_s)
+
+    @classmethod
+    def knn(cls, point, k: int, deadline_s: Optional[float] = None) -> "Request":
+        return cls("knn", (tuple(point), int(k)), deadline_s)
+
+    @classmethod
+    def join(
+        cls,
+        probes=None,
+        other=None,
+        algorithm: str = "inlj",
+        deadline_s: Optional[float] = None,
+    ) -> "Request":
+        return cls(
+            "join",
+            {"probes": probes, "other": other, "algorithm": algorithm},
+            deadline_s,
+        )
+
+    @classmethod
+    def insert(cls, obj, deadline_s: Optional[float] = None) -> "Request":
+        return cls("insert", obj, deadline_s)
+
+    @classmethod
+    def delete(cls, obj, deadline_s: Optional[float] = None) -> "Request":
+        return cls("delete", obj, deadline_s)
+
+    @classmethod
+    def compact(cls, deadline_s: Optional[float] = None) -> "Request":
+        return cls("compact", None, deadline_s)
+
+
+@dataclass
+class Response:
+    """What every request resolves to — success, shed, expiry, or error.
+
+    ``stale=True`` marks an answer served from the frozen base under the
+    breaker's serve-stale policy when pending writes may be missing from
+    it; ``degraded`` marks any answer produced on the degraded path.
+    """
+
+    status: str  # "ok" | "shed" | "deadline" | "error"
+    value: Any = None
+    stale: bool = False
+    degraded: bool = False
+    retries: int = 0
+    error: Optional[str] = None
+    latency_s: Optional[float] = None
+    epoch: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class ServeConfig:
+    """Tunables for :class:`CoalescingServer` (defaults favour tests)."""
+
+    batch_window: float = 0.002  # seconds to linger collecting a batch
+    degraded_batch_window: float = 0.0005  # shrunk window while the breaker is open
+    max_batch: int = 64
+    default_deadline: float = 5.0
+    admission_rate: Optional[float] = None  # requests/second; None = admit all
+    admission_burst: int = 64
+    retry_max_attempts: int = 5
+    retry_base_delay: float = 0.002
+    retry_max_delay: float = 0.05
+    retry_jitter: float = 0.5
+    retry_seed: int = 0
+    breaker_failure_threshold: int = 3
+    breaker_cooldown: float = 0.05
+    workers: int = 1  # >1 enables the ParallelExecutor fast path
+    pool_rebuild_retries: int = 2
+    compact_threshold: Optional[int] = None  # pending ops before background compact
+    task_timeout: float = 120.0
+
+
+class _Pending:
+    """An admitted request waiting for (or undergoing) execution."""
+
+    __slots__ = ("request", "future", "deadline", "issued_wall")
+
+    def __init__(self, request: Request, future, deadline: Deadline, issued_wall: float):
+        self.request = request
+        self.future = future
+        self.deadline = deadline
+        self.issued_wall = issued_wall
+
+
+_STOP = object()
+
+#: queue routing: range and kNN coalesce; everything else runs per-item.
+_QUEUE_FOR_KIND = {
+    "range": "range",
+    "knn": "knn",
+    "join": "other",
+    "insert": "other",
+    "delete": "other",
+    "compact": "other",
+}
+
+
+class CoalescingServer:
+    """Coalesce concurrent requests into batches over a snapshot manager.
+
+    ``source`` may be a :class:`~repro.engine.delta.SnapshotManager` (used
+    live — writes through the server and writes from outside both work) or
+    any index/tree a manager can wrap.  ``clock`` drives admission,
+    deadlines, and the breaker (inject a
+    :class:`~repro.serve.resilience.LogicalClock` for determinism);
+    latencies are always measured on the wall clock.  ``fault_plan`` is
+    installed on :meth:`start` (snapshot-load hook, compaction hook,
+    worker kills, batch faults, latency spikes) and uninstalled on
+    :meth:`stop`.
+
+    Lifecycle::
+
+        server = CoalescingServer(manager, config)
+        await server.start()
+        response = await server.submit_nowait(Request.range(rect))
+        await server.stop()
+    """
+
+    def __init__(
+        self,
+        source,
+        config: Optional[ServeConfig] = None,
+        *,
+        fault_plan=None,
+        clock: Optional[Clock] = None,
+    ):
+        self.config = config if config is not None else ServeConfig()
+        self.clock = clock if clock is not None else MonotonicClock()
+        if getattr(source, "is_snapshot_manager", False):
+            self.manager: SnapshotManager = source
+        else:
+            self.manager = SnapshotManager(source, update_engine="delta")
+        self.fault_plan = fault_plan
+        self.metrics = ServerMetrics()
+        self.admission = TokenBucket(
+            self.config.admission_rate, self.config.admission_burst, clock=self.clock
+        )
+        self.breaker = CircuitBreaker(
+            self.config.breaker_failure_threshold,
+            self.config.breaker_cooldown,
+            clock=self.clock,
+        )
+        self.retry = RetryPolicy(
+            max_attempts=self.config.retry_max_attempts,
+            base_delay=self.config.retry_base_delay,
+            max_delay=self.config.retry_max_delay,
+            jitter=self.config.retry_jitter,
+            seed=self.config.retry_seed,
+        )
+        self._queues: Dict[str, asyncio.Queue] = {}
+        self._batchers: List[asyncio.Task] = []
+        self._compaction_task: Optional[asyncio.Task] = None
+        self._engine_lock = threading.Lock()
+        self._execute_gate: Optional[asyncio.Lock] = None
+        self._executor: Optional[ParallelExecutor] = None
+        self._executor_epoch: Optional[int] = None
+        self._executor_seen: Dict[str, int] = {}
+        self._last_epoch = self.manager.epoch
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "CoalescingServer":
+        if self._running:
+            return self
+        self._loop = asyncio.get_running_loop()
+        self._execute_gate = asyncio.Lock()
+        self._queues = {name: asyncio.Queue() for name in ("range", "knn", "other")}
+        plan = self.fault_plan
+        if plan is not None:
+            plan.install()
+            self.manager.compaction_fault_hook = plan.hook("delta.compaction")
+        self._running = True
+        self._batchers = [
+            asyncio.ensure_future(self._batcher(name)) for name in self._queues
+        ]
+        return self
+
+    async def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        for queue in self._queues.values():
+            queue.put_nowait(_STOP)
+        await asyncio.gather(*self._batchers, return_exceptions=True)
+        self._batchers = []
+        if self._compaction_task is not None:
+            await asyncio.gather(self._compaction_task, return_exceptions=True)
+            self._compaction_task = None
+        plan = self.fault_plan
+        if plan is not None:
+            plan.uninstall()
+            self.manager.compaction_fault_hook = None
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+        # Anything still queued gets an explicit error, never silence.
+        for queue in self._queues.values():
+            while not queue.empty():
+                item = queue.get_nowait()
+                if item is not _STOP:
+                    self._resolve(item, Response(status="error", error="server stopped"))
+
+    async def __aenter__(self) -> "CoalescingServer":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # submission (synchronous admission — deterministic in issue order)
+    # ------------------------------------------------------------------
+
+    def submit_nowait(self, request: Request) -> "asyncio.Future[Response]":
+        """Admit-or-shed ``request`` immediately; resolve later.
+
+        Must be called from the event-loop thread.  Admission control
+        runs synchronously here, so with a logical clock the shed/admit
+        decision depends only on the submission sequence.
+        """
+        if self._loop is None:
+            raise RuntimeError("server not started")
+        future: asyncio.Future = self._loop.create_future()
+        self.metrics.incr("offered")
+        if not self._running:
+            future.set_result(Response(status="error", error="server not running"))
+            return future
+        if not self.admission.try_acquire():
+            self.metrics.incr("shed")
+            future.set_result(
+                Response(status="shed", error="overloaded: admission bucket empty")
+            )
+            return future
+        self.metrics.incr("admitted")
+        seconds = (
+            request.deadline_s
+            if request.deadline_s is not None
+            else self.config.default_deadline
+        )
+        item = _Pending(
+            request,
+            future,
+            Deadline(seconds, self.clock),
+            issued_wall=time.perf_counter(),
+        )
+        self._queues[_QUEUE_FOR_KIND[request.kind]].put_nowait(item)
+        return future
+
+    async def submit(self, request: Request) -> Response:
+        """Submit and await the response."""
+        return await self.submit_nowait(request)
+
+    # async conveniences ------------------------------------------------
+    async def range_query(self, rect, **kwargs) -> Response:
+        return await self.submit(Request.range(rect, **kwargs))
+
+    async def knn(self, point, k: int, **kwargs) -> Response:
+        return await self.submit(Request.knn(point, k, **kwargs))
+
+    async def join(self, **kwargs) -> Response:
+        return await self.submit(Request.join(**kwargs))
+
+    async def insert(self, obj, **kwargs) -> Response:
+        return await self.submit(Request.insert(obj, **kwargs))
+
+    async def delete(self, obj, **kwargs) -> Response:
+        return await self.submit(Request.delete(obj, **kwargs))
+
+    async def compact(self, **kwargs) -> Response:
+        return await self.submit(Request.compact(**kwargs))
+
+    # ------------------------------------------------------------------
+    # batching
+    # ------------------------------------------------------------------
+
+    async def _batcher(self, name: str) -> None:
+        queue = self._queues[name]
+        coalesce = name in ("range", "knn")
+        stopping = False
+        while not stopping:
+            item = await queue.get()
+            if item is _STOP:
+                return
+            batch = [item]
+            if coalesce:
+                window = (
+                    self.config.batch_window
+                    if self.breaker.allow()
+                    else self.config.degraded_batch_window
+                )
+                while len(batch) < self.config.max_batch:
+                    try:
+                        nxt = await asyncio.wait_for(queue.get(), timeout=window)
+                    except asyncio.TimeoutError:
+                        break
+                    if nxt is _STOP:
+                        stopping = True
+                        break
+                    batch.append(nxt)
+            try:
+                await self._dispatch(batch[0].request.kind if not coalesce else name, batch)
+            except Exception as exc:  # pragma: no cover - defensive backstop
+                for pending in batch:
+                    self._resolve(
+                        pending, Response(status="error", error=f"dispatch failed: {exc!r}")
+                    )
+
+    async def _dispatch(self, kind: str, batch: List[_Pending]) -> None:
+        self.metrics.incr("batches")
+        if len(batch) > 1:
+            self.metrics.incr("coalesced", len(batch) - 1)
+
+        # Injected latency spike: stall the whole batch (slow-request chaos).
+        plan = self.fault_plan
+        if plan is not None:
+            spec = plan.fires(REQUEST_LATENCY)
+            if spec is not None and spec.delay > 0:
+                await asyncio.sleep(spec.delay)
+
+        live: List[_Pending] = []
+        for item in batch:
+            if item.future.cancelled():
+                continue
+            if item.deadline.expired():
+                self.metrics.incr("deadline_exceeded")
+                self._resolve(
+                    item,
+                    Response(
+                        status="deadline", error="deadline exceeded before execution"
+                    ),
+                )
+            else:
+                live.append(item)
+        if not live:
+            return
+
+        # ``other`` queue items are homogeneous per _dispatch only when
+        # not coalescing — they arrive one per batch, so kind is exact.
+        assert self._execute_gate is not None
+        async with self._execute_gate:
+            await self._dispatch_locked(kind, live)
+
+    async def _dispatch_locked(self, kind: str, live: List[_Pending]) -> None:
+        attempts = 0
+        delays = self.retry.delays()
+        degraded_reason: Optional[str] = None
+        values: Optional[List[Tuple[str, Any, bool]]] = None
+        while True:
+            if not self.breaker.allow():
+                degraded_reason = "circuit breaker open"
+                break
+            try:
+                values = await self._execute(kind, live)
+            except RETRYABLE_EXCEPTIONS as exc:
+                before = self.breaker.opened_count
+                self.breaker.record_failure()
+                if self.breaker.opened_count > before:
+                    self.metrics.incr("breaker_opens")
+                attempts += 1
+                if attempts >= self.retry.max_attempts:
+                    degraded_reason = f"retries exhausted: {exc!r}"
+                    break
+                self.metrics.incr("retries")
+                await asyncio.sleep(delays[attempts - 1])
+            except Exception as exc:
+                before = self.breaker.opened_count
+                self.breaker.record_failure()
+                if self.breaker.opened_count > before:
+                    self.metrics.incr("breaker_opens")
+                self.metrics.incr("errors", len(live))
+                for item in live:
+                    self._resolve(
+                        item,
+                        Response(status="error", error=repr(exc), retries=attempts),
+                    )
+                return
+            else:
+                self.breaker.record_success()
+                break
+
+        degraded = degraded_reason is not None
+        if degraded:
+            self.metrics.incr("degraded_batches")
+            try:
+                values = await asyncio.to_thread(
+                    self._execute_degraded_sync, kind, live
+                )
+            except Exception as exc:
+                self.metrics.incr("errors", len(live))
+                for item in live:
+                    self._resolve(
+                        item,
+                        Response(
+                            status="error",
+                            error=f"degraded path failed: {exc!r}",
+                            retries=attempts,
+                            degraded=True,
+                        ),
+                    )
+                return
+
+        epoch = self.manager.epoch
+        assert values is not None
+        for item, (status, value, stale) in zip(live, values):
+            if stale:
+                self.metrics.incr("stale_served")
+            error = None
+            if status == "error":
+                self.metrics.incr("errors")
+                error = value if isinstance(value, str) else degraded_reason
+                value = None
+            self._resolve(
+                item,
+                Response(
+                    status=status,
+                    value=value,
+                    stale=stale,
+                    degraded=degraded,
+                    retries=attempts,
+                    error=error,
+                    epoch=epoch,
+                ),
+            )
+
+    def _resolve(self, item: _Pending, response: Response) -> None:
+        if item.future.done():
+            return
+        if response.status == "ok" and item.deadline.expired():
+            self.metrics.incr("deadline_exceeded")
+            response = Response(
+                status="deadline",
+                error="deadline exceeded before delivery",
+                retries=response.retries,
+                degraded=response.degraded,
+            )
+        response.latency_s = time.perf_counter() - item.issued_wall
+        if response.status == "ok":
+            self.metrics.incr("completed")
+            self.metrics.observe_latency(response.latency_s)
+        item.future.set_result(response)
+
+    # ------------------------------------------------------------------
+    # execution — normal path
+    # ------------------------------------------------------------------
+
+    async def _execute(self, kind: str, items: List[_Pending]):
+        plan = self.fault_plan
+        if plan is not None:
+            # One consultation per execution attempt, in the event loop
+            # (single-flighted), so a seeded burst maps to exact retry
+            # and breaker counts.
+            plan.raise_if_fires(BATCH_FAULT)
+        def work():
+            with self._engine_lock:
+                return self._execute_sync(kind, items)
+
+        return await asyncio.to_thread(work)
+
+    def _execute_sync(self, kind: str, items: List[_Pending]):
+        manager = self.manager
+        epoch = manager.epoch
+        if epoch != self._last_epoch:
+            self.metrics.incr("snapshot_swaps", epoch - self._last_epoch)
+            self._last_epoch = epoch
+        out: List[Tuple[str, Any, bool]] = []
+        if kind == "range":
+            rects = [item.request.payload for item in items]
+            executor = self._parallel_executor()
+            if executor is not None:
+                results = executor.range_query_batch(rects)
+                self._drain_executor_counters(executor)
+            else:
+                results = manager.range_query_batch(rects)
+            out = [("ok", hits, False) for hits in results]
+        elif kind == "knn":
+            points = [item.request.payload[0] for item in items]
+            ks = [item.request.payload[1] for item in items]
+            kmax = max(ks)
+            executor = self._parallel_executor()
+            if executor is not None:
+                results = executor.knn_batch(points, kmax)
+                self._drain_executor_counters(executor)
+            else:
+                results = manager.knn_batch(points, kmax)
+            out = [("ok", hits[:k], False) for hits, k in zip(results, ks)]
+        else:
+            for item in items:
+                out.append(self._execute_single(item.request))
+        return out
+
+    def _execute_single(self, request: Request) -> Tuple[str, Any, bool]:
+        manager = self.manager
+        if request.kind == "join":
+            spec = request.payload
+            algorithm = spec.get("algorithm", "inlj")
+            if algorithm == "inlj":
+                probes = spec.get("probes")
+                if probes is None:
+                    left = spec.get("other")
+                    if left is None:
+                        raise ValueError("INLJ join request needs probes")
+                    probes = left
+                result = overlay_join(probes, manager, algorithm="inlj")
+            else:
+                other = spec.get("other")
+                if other is None:
+                    raise ValueError("STT join request needs an `other` index")
+                result = overlay_join(other, manager, algorithm=algorithm)
+            return ("ok", result, False)
+        if request.kind == "insert":
+            manager.insert(request.payload)
+            self._maybe_background_compact()
+            return ("ok", True, False)
+        if request.kind == "delete":
+            found = manager.delete(request.payload)
+            self._maybe_background_compact()
+            return ("ok", found, False)
+        if request.kind == "compact":
+            try:
+                stats = manager.compact()
+            except BaseException:
+                self.metrics.incr("compaction_failures")
+                raise
+            self.metrics.incr("compactions")
+            return ("ok", stats, False)
+        raise ValueError(f"unroutable request kind {request.kind!r}")
+
+    # ------------------------------------------------------------------
+    # execution — degraded (serve-stale) path
+    # ------------------------------------------------------------------
+
+    def _execute_degraded_sync(self, kind: str, items: List[_Pending]):
+        """Serve from the frozen base, serially, stamping staleness.
+
+        The breaker is open (or retries ran dry): bypass the parallel
+        pool and the overlay merge, answer queries straight off the base
+        snapshot under the ``"serve"`` stale policy, and mark every
+        answer that may be missing pending writes with ``stale=True``.
+        Writes still apply (the overlay is cheap and not the failing
+        component); explicit compaction requests are refused while
+        degraded.
+        """
+        with self._engine_lock:
+            manager = self.manager
+            snapshot, overlay = manager.view
+            snapshot = resolve_stale(snapshot, "serve")
+            stale = bool(snapshot.is_stale or not overlay.is_empty)
+            out: List[Tuple[str, Any, bool]] = []
+            if kind == "range":
+                rects = [item.request.payload for item in items]
+                results = base_range_query_batch(snapshot, rects)
+                out = [("ok", hits, stale) for hits in results]
+            elif kind == "knn":
+                points = [item.request.payload[0] for item in items]
+                ks = [item.request.payload[1] for item in items]
+                results = base_knn_batch(snapshot, points, max(ks))
+                out = [("ok", hits[:k], stale) for hits, k in zip(results, ks)]
+            else:
+                for item in items:
+                    request = item.request
+                    if request.kind == "join":
+                        spec = request.payload
+                        algorithm = spec.get("algorithm", "inlj")
+                        left = spec.get("probes") or spec.get("other")
+                        if algorithm == "inlj":
+                            from repro.engine.join_exec import inlj_batch
+
+                            result = inlj_batch(list(left), snapshot)
+                        else:
+                            from repro.engine.join_exec import stt_batch
+
+                            other = spec.get("other")
+                            other_snapshot = (
+                                other.snapshot
+                                if getattr(other, "is_snapshot_manager", False)
+                                else other
+                            )
+                            result = stt_batch(other_snapshot, snapshot)
+                        out.append(("ok", result, stale))
+                    elif request.kind == "insert":
+                        manager.insert(request.payload)
+                        out.append(("ok", True, False))
+                    elif request.kind == "delete":
+                        try:
+                            found = manager.delete(request.payload)
+                        except CompactionInProgressError:
+                            out.append(
+                                ("error", "delete raced a compaction; retry", False)
+                            )
+                            continue
+                        out.append(("ok", found, False))
+                    else:  # compact
+                        out.append(
+                            ("error", "compaction refused while degraded", False)
+                        )
+            return out
+
+    # ------------------------------------------------------------------
+    # parallel execution + background compaction plumbing
+    # ------------------------------------------------------------------
+
+    def _parallel_executor(self) -> Optional[ParallelExecutor]:
+        """The pool-backed executor, when eligible (workers>1, clean overlay).
+
+        Rebuilt whenever the manager's epoch moves (the pool mmaps a
+        saved copy of the snapshot; a swap makes it stale).  The saved
+        snapshot is validated with one coordinator-side
+        :func:`load_snapshot` — the deterministic point where an attached
+        plan's snapshot-load fault fires (and gets retried upstream).
+        """
+        if self.config.workers <= 1:
+            return None
+        manager = self.manager
+        snapshot, overlay = manager.view
+        if not overlay.is_empty:
+            return None  # pool serves the base only; overlay needs the manager
+        if self._executor is not None and self._executor_epoch != manager.epoch:
+            self._executor.close()
+            self._executor = None
+        if self._executor is None:
+            executor = ParallelExecutor(
+                snapshot,
+                workers=self.config.workers,
+                task_timeout=self.config.task_timeout,
+                pool_rebuild_retries=self.config.pool_rebuild_retries,
+                fault_plan=self.fault_plan,
+            )
+            try:
+                load_snapshot(executor.path, mmap=True)
+            except BaseException:
+                executor.close()
+                raise
+            self._executor = executor
+            self._executor_epoch = manager.epoch
+            self._executor_seen = {"pool_rebuilds": 0, "serial_fallbacks": 0}
+        return self._executor
+
+    def _drain_executor_counters(self, executor: ParallelExecutor) -> None:
+        for name in ("pool_rebuilds", "serial_fallbacks"):
+            current = getattr(executor, name)
+            seen = self._executor_seen.get(name, 0)
+            if current > seen:
+                self.metrics.incr(name, current - seen)
+                self._executor_seen[name] = current
+
+    def _maybe_background_compact(self) -> None:
+        threshold = self.config.compact_threshold
+        if threshold is None or self.manager.pending_ops < threshold:
+            return
+        if self._compaction_task is not None and not self._compaction_task.done():
+            return
+        if self._loop is None:
+            return
+        self._compaction_task = self._loop.create_task(self._run_compaction())
+
+    async def _run_compaction(self) -> None:
+        """Background compaction with explicit failure accounting.
+
+        Runs off the engine lock (readers keep serving the old view; the
+        swap is atomic).  A crash — injected or real — counts as a
+        breaker failure and a ``compaction_failures`` tick; the delta
+        stays buffered, so the next trigger retries the whole fold.
+        """
+        before = self.manager.epoch
+        try:
+            await asyncio.to_thread(self.manager.compact)
+        except CompactionInProgressError:
+            return  # another compaction beat us to it
+        except Exception:
+            self.metrics.incr("compaction_failures")
+            opened = self.breaker.opened_count
+            self.breaker.record_failure()
+            if self.breaker.opened_count > opened:
+                self.metrics.incr("breaker_opens")
+            return
+        self.metrics.incr("compactions")
+        swapped = self.manager.epoch - before
+        if swapped > 0:
+            self.metrics.incr("snapshot_swaps", swapped)
+            self._last_epoch = self.manager.epoch
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def report(self) -> Dict[str, Any]:
+        """Metrics snapshot, with fault-plan accounting folded in."""
+        snap = self.metrics.snapshot()
+        plan = self.fault_plan
+        snap["faults_injected"] = plan.total_fired() if plan is not None else 0
+        snap["breaker_state"] = self.breaker.state
+        snap["epoch"] = self.manager.epoch
+        return snap

@@ -210,3 +210,19 @@ class TestCli:
         output = capsys.readouterr().out
         assert "refreeze_ms_per_update" in output
         assert "refreeze" in output
+
+    def test_serve_command_runs_chaos_scenario(self, capsys):
+        assert main([
+            "serve", "--size", "500", "--requests", "60",
+            "--max-entries", "16", "--chaos-seed", "11",
+        ]) == 0
+        output = capsys.readouterr().out
+        # the robustness report surfaces the gated counters and the
+        # explicit-response accounting line
+        assert "chaos serving over rstar/par02" in output
+        assert "breaker_opens" in output and "faults_injected" in output
+        assert "explicit (ok/shed), 0 errors" in output
+
+    def test_serve_command_rejects_unknown_dataset(self, capsys):
+        assert main(["serve", "--dataset", "nope"]) == 2
+        assert "unknown dataset" in capsys.readouterr().err

@@ -18,7 +18,12 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.engine import build_columnar_str
-from repro.engine.delta import DeltaOverlay, SnapshotManager, object_key
+from repro.engine.delta import (
+    CompactionInProgressError,
+    DeltaOverlay,
+    SnapshotManager,
+    object_key,
+)
 from repro.geometry.objects import SpatialObject
 from repro.geometry.rect import Rect
 from repro.join import execute_join
@@ -316,3 +321,158 @@ class TestWorkloadAndJoinRouting:
             build_rtree("quadratic", left_live, max_entries=6), right_tree
         )
         assert managed.pair_count == scalar.pair_count
+
+
+# ----------------------------------------------------------------------
+# writes racing a compaction (the CompactionInProgressError contract)
+# ----------------------------------------------------------------------
+
+
+class TestCompactionConcurrency:
+    """Pins the documented mid-compaction write contract.
+
+    The ``compaction_fault_hook`` fires inside ``compact()`` after the
+    compacting flag is set but before the source tree is touched, which
+    makes it the perfect stand-in for "another thread runs while the
+    fold is in flight": everything a concurrent writer could attempt is
+    attempted from the hook, and everything a mid-fold crash could
+    corrupt is checked after raising from it.
+    """
+
+    def _manager(self, count=30, seed=5):
+        rng = random.Random(seed)
+        objects = [_random_object(rng, i) for i in range(count)]
+        manager = SnapshotManager(build_rtree("quadratic", objects, max_entries=6))
+        return rng, objects, manager
+
+    def test_insert_during_compaction_lands_in_current_overlay(self):
+        rng, objects, manager = self._manager()
+        manager.insert(_random_object(rng, 1000))
+        staged = _random_object(rng, 2000)
+
+        def racer():
+            manager.insert(staged)  # staged, not dropped, not applied twice
+
+        manager.compaction_fault_hook = racer
+        stats = manager.compact()
+        manager.compaction_fault_hook = None
+
+        assert stats.applied_inserts == 1  # only the pre-compaction insert folded
+        assert manager.epoch == 1
+        # the staged insert replayed into the fresh overlay: pending, visible
+        assert manager.pending_ops == 1
+        hits = manager.range_query(staged.rect)
+        assert staged.oid in {o.oid for o in hits}
+        assert {o.oid for o in hits if o.oid == staged.oid} == {staged.oid}
+        # folding it later applies it exactly once
+        manager.compact()
+        assert manager.pending_ops == 0
+        again = manager.range_query(staged.rect)
+        assert sum(1 for o in again if o.oid == staged.oid) == 1
+
+    def test_delete_during_compaction_raises_cleanly(self):
+        rng, objects, manager = self._manager()
+        manager.insert(_random_object(rng, 1000))
+        victim = objects[0]
+        outcome = {}
+
+        def racer():
+            with pytest.raises(CompactionInProgressError, match="retry after the swap"):
+                manager.delete(victim)
+            outcome["raised"] = True
+
+        manager.compaction_fault_hook = racer
+        manager.compact()
+        manager.compaction_fault_hook = None
+        assert outcome == {"raised": True}
+        # the rejected delete was not half-applied: the victim is intact,
+        # and retrying after the swap works
+        assert victim.oid in {o.oid for o in manager.range_query(victim.rect)}
+        assert manager.delete(victim)
+        assert victim.oid not in {o.oid for o in manager.range_query(victim.rect)}
+
+    def test_reentrant_compact_raises(self):
+        rng, objects, manager = self._manager()
+        manager.insert(_random_object(rng, 1000))
+        outcome = {}
+
+        def racer():
+            with pytest.raises(CompactionInProgressError, match="already running"):
+                manager.compact()
+            outcome["raised"] = True
+
+        manager.compaction_fault_hook = racer
+        stats = manager.compact()
+        manager.compaction_fault_hook = None
+        assert outcome == {"raised": True}
+        assert stats.applied_inserts == 1
+        assert manager.epoch == 1
+
+    def test_crash_mid_compaction_preserves_view_and_staged_inserts(self):
+        rng, objects, manager = self._manager()
+        pending = _random_object(rng, 1000)
+        manager.insert(pending)
+        staged = _random_object(rng, 2000)
+        before_epoch = manager.epoch
+        before_snapshot = manager.view[0]
+
+        def crasher():
+            manager.insert(staged)
+            raise RuntimeError("compaction crashed mid-fold")
+
+        manager.compaction_fault_hook = crasher
+        with pytest.raises(RuntimeError, match="crashed mid-fold"):
+            manager.compact()
+        manager.compaction_fault_hook = None
+
+        # published view unchanged; nothing folded; nothing lost
+        assert manager.epoch == before_epoch
+        assert manager.view[0] is before_snapshot
+        assert manager.total_compactions == 0
+        assert manager.pending_ops == 2  # the original insert + the staged one
+        for obj in (pending, staged):
+            assert obj.oid in {o.oid for o in manager.range_query(obj.rect)}
+
+        # the crash consumed nothing: a retry folds the full delta once
+        stats = manager.compact()
+        assert stats.applied_inserts == 2
+        assert manager.epoch == before_epoch + 1
+        assert manager.pending_ops == 0
+        for obj in (pending, staged):
+            hits = manager.range_query(obj.rect)
+            assert sum(1 for o in hits if o.oid == obj.oid) == 1
+
+    def test_mid_compaction_insert_validates_dims(self):
+        rng, objects, manager = self._manager()
+        manager.insert(_random_object(rng, 1000))
+        bad = SpatialObject(3000, Rect((0, 0, 0), (1, 1, 1)))
+        outcome = {}
+
+        def racer():
+            with pytest.raises(ValueError, match="dims"):
+                manager.insert(bad)
+            outcome["raised"] = True
+
+        manager.compaction_fault_hook = racer
+        manager.compact()
+        manager.compaction_fault_hook = None
+        assert outcome == {"raised": True}
+        assert manager.pending_ops == 0  # the bad insert was never staged
+
+    def test_refreeze_write_racing_compaction_raises(self):
+        rng = random.Random(5)
+        objects = [_random_object(rng, i) for i in range(20)]
+        manager = SnapshotManager(
+            build_rtree("quadratic", objects, max_entries=6),
+            update_engine="refreeze",
+        )
+        # refreeze has no overlay to stage into: a racing write must raise
+        with manager._write_lock:
+            manager._compacting = True
+        try:
+            with pytest.raises(CompactionInProgressError):
+                manager.insert(_random_object(rng, 1000))
+            with pytest.raises(CompactionInProgressError):
+                manager.delete(objects[0])
+        finally:
+            manager._compacting = False

@@ -180,7 +180,8 @@ def test_future_format_version_rejected(tmp_path):
 def test_missing_array_file(tmp_path):
     _, reference = _frozen(count=60)
     save_snapshot(reference, tmp_path)
-    (tmp_path / "entry_lows.npy").unlink()
+    data_dir = read_manifest(tmp_path)["data_dir"]
+    (tmp_path / data_dir / "entry_lows.npy").unlink()
     with pytest.raises(SnapshotFormatError, match="missing"):
         load_snapshot(tmp_path)
 

@@ -113,3 +113,110 @@ class TestJoinStaleGuard:
             for l, r in fresh.pairs
         }
         assert served_keys <= fresh_keys
+
+
+class TestServeStaleUnderBreaker:
+    """The server's breaker-degraded path is the ``"serve"`` policy online.
+
+    When the circuit breaker opens, :class:`CoalescingServer` answers
+    queries from the frozen base snapshot via ``resolve_stale(snapshot,
+    "serve")`` — exactly the policy pinned above, but the staleness that
+    ``execute_workload(stale="serve")`` leaves implicit must surface in
+    the response metadata: ``stale=True`` whenever the answer can be
+    missing pending writes, ``stale=False`` when the frozen base happens
+    to be the complete truth.
+    """
+
+    @staticmethod
+    def _server_setup(count=120, seed=41):
+        import asyncio
+
+        from repro.engine import SnapshotManager
+        from repro.serve.server import CoalescingServer, Request
+
+        objects = make_random_objects(count, seed=seed)
+        tree = build_rtree("rstar", objects, max_entries=8)
+        manager = SnapshotManager(tree, update_engine="delta")
+        return asyncio, CoalescingServer, Request, objects, manager
+
+    def test_degraded_answer_with_pending_writes_is_stale_stamped(self):
+        asyncio, CoalescingServer, Request, objects, manager = self._server_setup()
+        base_snapshot = manager.snapshot
+        probe = Rect((0, 0), (100, 100))
+        extra = SpatialObject(9_999, Rect((1.0, 1.0), (2.0, 2.0)))
+
+        async def main():
+            async with CoalescingServer(manager) as server:
+                await server.insert(extra)  # lands in the overlay
+                server.breaker.force_open()
+                return await server.range_query(probe)
+
+        response = asyncio.run(main())
+        assert response.ok and response.degraded
+        # the overlay holds a pending insert the frozen base cannot see:
+        # the answer MUST be stamped stale
+        assert response.stale
+        served_oids = {o.oid for o in response.value}
+        assert extra.oid not in served_oids
+        # and it is exactly the "serve" policy's answer over the base
+        frozen = resolve_stale(base_snapshot, "serve")
+        expected = {
+            o.oid for o in brute_force_range(list(frozen.objects), probe)
+        }
+        assert served_oids == expected
+
+    def test_degraded_answer_without_pending_writes_is_not_stale(self):
+        asyncio, CoalescingServer, Request, objects, manager = self._server_setup()
+        probe = Rect((0, 0), (100, 100))
+
+        async def main():
+            async with CoalescingServer(manager) as server:
+                server.breaker.force_open()
+                return await server.range_query(probe)
+
+        response = asyncio.run(main())
+        assert response.ok and response.degraded
+        # empty overlay + fresh base: the frozen answer is complete truth
+        assert not response.stale
+        assert {o.oid for o in response.value} == {
+            o.oid for o in brute_force_range(objects, probe)
+        }
+
+    def test_degraded_knn_is_stale_stamped(self):
+        asyncio, CoalescingServer, Request, objects, manager = self._server_setup()
+        extra = SpatialObject(9_998, Rect((50.0, 50.0), (51.0, 51.0)))
+
+        async def main():
+            async with CoalescingServer(manager) as server:
+                await server.insert(extra)
+                server.breaker.force_open()
+                return await server.knn((50.0, 50.0), 4)
+
+        response = asyncio.run(main())
+        assert response.ok and response.degraded and response.stale
+        assert all(hit.oid != extra.oid for _d, hit in response.value)
+
+    def test_recovered_server_serves_fresh_unstamped(self):
+        """After the cooldown's half-open probe succeeds, answers include
+        the overlay again and drop the stale stamp."""
+        asyncio, CoalescingServer, Request, objects, manager = self._server_setup()
+        from repro.serve.server import ServeConfig
+
+        probe = Rect((0, 0), (100, 100))
+        extra = SpatialObject(9_997, Rect((3.0, 3.0), (4.0, 4.0)))
+        config = ServeConfig(breaker_cooldown=0.01)
+
+        async def main():
+            async with CoalescingServer(manager, config) as server:
+                await server.insert(extra)
+                server.breaker.force_open()
+                degraded = await server.range_query(probe)
+                await asyncio.sleep(0.03)  # past the cooldown: half-open
+                fresh = await server.range_query(probe)
+                return degraded, fresh
+
+        degraded, fresh = asyncio.run(main())
+        assert degraded.stale and degraded.degraded
+        assert fresh.ok and not fresh.stale and not fresh.degraded
+        assert extra.oid in {o.oid for o in fresh.value}
+        assert extra.oid not in {o.oid for o in degraded.value}
